@@ -1,0 +1,92 @@
+"""Minimal in-tree PEP 517/660 build backend.
+
+The target environment is fully offline and has no ``wheel`` package,
+so the stock setuptools backend cannot build (editable) wheels.  This
+backend produces them directly with the standard library: an editable
+install is a wheel containing a ``.pth`` file pointing at ``src/``; a
+regular wheel packages the ``src/repro`` tree.
+"""
+
+from __future__ import annotations
+
+import base64
+import hashlib
+import os
+import zipfile
+
+NAME = "repro"
+VERSION = "0.6.0"
+TAG = "py3-none-any"
+ROOT = os.path.dirname(os.path.abspath(__file__))
+
+METADATA = f"""Metadata-Version: 2.1
+Name: {NAME}
+Version: {VERSION}
+Summary: Simulation-based reproduction of BetrFS v0.6 (EuroSys 2022)
+Requires-Python: >=3.9
+"""
+
+WHEEL_META = f"""Wheel-Version: 1.0
+Generator: repro-inline-backend
+Root-Is-Purelib: true
+Tag: {TAG}
+"""
+
+
+def _record_line(name: str, data: bytes) -> str:
+    digest = base64.urlsafe_b64encode(hashlib.sha256(data).digest()).rstrip(b"=")
+    return f"{name},sha256={digest.decode()},{len(data)}"
+
+
+def _write_wheel(path: str, files: dict) -> None:
+    dist_info = f"{NAME}-{VERSION}.dist-info"
+    files = dict(files)
+    files[f"{dist_info}/METADATA"] = METADATA.encode()
+    files[f"{dist_info}/WHEEL"] = WHEEL_META.encode()
+    record_name = f"{dist_info}/RECORD"
+    record = [_record_line(name, data) for name, data in files.items()]
+    record.append(f"{record_name},,")
+    files[record_name] = ("\n".join(record) + "\n").encode()
+    with zipfile.ZipFile(path, "w", zipfile.ZIP_DEFLATED) as zf:
+        for name, data in files.items():
+            zf.writestr(name, data)
+
+
+def _wheel_name() -> str:
+    return f"{NAME}-{VERSION}-{TAG}.whl"
+
+
+def build_editable(wheel_directory, config_settings=None, metadata_directory=None):
+    src = os.path.join(ROOT, "src")
+    files = {f"__editable__.{NAME}.pth": (src + "\n").encode()}
+    name = _wheel_name()
+    _write_wheel(os.path.join(wheel_directory, name), files)
+    return name
+
+
+def build_wheel(wheel_directory, config_settings=None, metadata_directory=None):
+    files = {}
+    src = os.path.join(ROOT, "src")
+    for dirpath, _dirnames, filenames in os.walk(os.path.join(src, NAME)):
+        for fn in filenames:
+            if fn.endswith(".pyc"):
+                continue
+            full = os.path.join(dirpath, fn)
+            rel = os.path.relpath(full, src).replace(os.sep, "/")
+            with open(full, "rb") as fh:
+                files[rel] = fh.read()
+    name = _wheel_name()
+    _write_wheel(os.path.join(wheel_directory, name), files)
+    return name
+
+
+def build_sdist(sdist_directory, config_settings=None):  # pragma: no cover
+    raise NotImplementedError("sdist builds are not supported offline")
+
+
+def get_requires_for_build_editable(config_settings=None):
+    return []
+
+
+def get_requires_for_build_wheel(config_settings=None):
+    return []

@@ -1,0 +1,41 @@
+"""Benchmark configuration.
+
+Each benchmark runs one cell (or one figure series) of the paper's
+evaluation through the simulator and records the *simulated* metric —
+the number comparable to the paper — in ``benchmark.extra_info``.  The
+wall-clock time pytest-benchmark measures is simply how long the
+simulation takes to run on the host.
+
+Benchmarks use the smoke scale so `pytest benchmarks/ --benchmark-only`
+finishes in minutes; the full-scale tables are regenerated with
+``python -m repro.harness all --out results/``.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.workloads.scale import SMOKE_SCALE
+
+
+@pytest.fixture(scope="session")
+def bench_scale():
+    return SMOKE_SCALE
+
+
+def run_cell(benchmark, fn, *args, **kwargs):
+    """Run one simulation cell under pytest-benchmark."""
+    result = {}
+
+    def once():
+        result["value"] = fn(*args, **kwargs)
+        return result["value"]
+
+    benchmark.pedantic(once, rounds=1, iterations=1, warmup_rounds=0)
+    value = result["value"]
+    if isinstance(value, dict):
+        for k, v in value.items():
+            benchmark.extra_info[k] = v
+    else:
+        benchmark.extra_info["simulated_metric"] = value
+    return value

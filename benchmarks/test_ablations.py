@@ -1,0 +1,120 @@
+"""Ablation benchmarks for design choices DESIGN.md calls out.
+
+These go beyond the paper's Table 3 rows and isolate individual
+mechanisms:
+
+* **compression** — the paper *disables* node compression ("the
+  computational costs can delay I/Os for little benefit"); we measure
+  both sides of that trade.
+* **PacMan** — §4 analyzes PacMan burning quadratic CPU during
+  recursive deletes; switching it off isolates its cost/benefit.
+* **lifting** — prefix elision shrinks serialized nodes.
+* **tree read-ahead** — §3.2 in isolation, on cold sequential reads.
+* **apply-on-query policy** — eager vs lazy (§4) on a point-query-heavy
+  workload, independent of the +QRY row's other state.
+"""
+
+import dataclasses
+
+import pytest
+
+from benchmarks.conftest import run_cell
+from repro.betrfs.filesystem import MountOptions, make_betrfs
+from repro.workloads.dirops import rm_rf
+from repro.workloads.scale import SMOKE_SCALE
+from repro.workloads.sequential import seq_read, seq_write
+from repro.workloads.trees import build_tree, linux_like_tree
+
+
+def mount_with(tweaks):
+    opts = MountOptions(
+        scale=SMOKE_SCALE.geometry,
+        page_cache_bytes=SMOKE_SCALE.page_cache_bytes,
+        dirty_limit_bytes=SMOKE_SCALE.dirty_limit_bytes,
+        tree_cache_bytes=SMOKE_SCALE.tree_cache_bytes,
+        config_tweaks=tweaks,
+    )
+    return make_betrfs("BetrFS v0.6", opts)
+
+
+def seq_io(tweaks):
+    mount = mount_with(tweaks)
+    w = seq_write(mount, SMOKE_SCALE)
+    r = seq_read(mount, SMOKE_SCALE)
+    return {"seq_write": w, "seq_read": r}
+
+
+def rm_with(tweaks, version="BetrFS v0.4"):
+    opts = MountOptions(
+        scale=SMOKE_SCALE.geometry,
+        page_cache_bytes=SMOKE_SCALE.page_cache_bytes,
+        dirty_limit_bytes=SMOKE_SCALE.dirty_limit_bytes,
+        tree_cache_bytes=SMOKE_SCALE.tree_cache_bytes,
+        config_tweaks=tweaks,
+    )
+    mount = make_betrfs(version, opts)
+    spec1 = linux_like_tree("/c/l1", SMOKE_SCALE.tree_files, SMOKE_SCALE.tree_bytes)
+    spec2 = spec1.scaled_copy("/c/l2")
+    mount.vfs.mkdir("/c")
+    build_tree(mount, spec1, fsync_at_end=False)
+    build_tree(mount, spec2)
+    return {"rm": rm_rf(mount, "/c")}
+
+
+@pytest.mark.parametrize("compression", [False, True])
+def test_ablation_compression(benchmark, compression):
+    values = run_cell(benchmark, seq_io, {"compression": compression})
+    assert values["seq_write"] > 0
+
+
+@pytest.mark.parametrize("pacman", [False, True])
+def test_ablation_pacman_rm(benchmark, pacman):
+    values = run_cell(benchmark, rm_with, {"pacman": pacman})
+    assert values["rm"] > 0
+
+
+@pytest.mark.parametrize("lifting", [False, True])
+def test_ablation_lifting(benchmark, lifting):
+    values = run_cell(benchmark, seq_io, {"lifting": lifting})
+    assert values["seq_read"] > 0
+
+
+@pytest.mark.parametrize("tree_readahead", [False, True])
+def test_ablation_tree_readahead(benchmark, tree_readahead):
+    values = run_cell(benchmark, seq_io, {"tree_readahead": tree_readahead})
+    assert values["seq_read"] > 0
+
+
+@pytest.mark.parametrize("lazy", [False, True])
+def test_ablation_apply_on_query(benchmark, lazy):
+    def workload(tweaks):
+        mount = mount_with(tweaks)
+        v = mount.vfs
+        v.mkdir("/d")
+        for i in range(1500):
+            v.create(f"/d/f{i:05d}")
+        t0 = mount.clock.now
+        for i in range(0, 1500, 3):
+            v.stat(f"/d/f{i:05d}")
+        return {"query_seconds": mount.clock.now - t0}
+
+    values = run_cell(benchmark, workload, {"lazy_apply_on_query": lazy})
+    assert values["query_seconds"] > 0
+
+
+def test_shape_readahead_helps_cold_reads():
+    with_ra = seq_io({"tree_readahead": True})
+    without = seq_io({"tree_readahead": False})
+    assert with_ra["seq_read"] > without["seq_read"]
+
+
+def test_shape_compression_trades_cpu_for_bytes():
+    mount_on = mount_with({"compression": True})
+    mount_off = mount_with({"compression": False})
+    for m in (mount_on, mount_off):
+        seq_write(m, SMOKE_SCALE)
+    # Fewer device bytes with compression, but more CPU charged.
+    assert (
+        mount_on.env.data.stats.bytes_node_written
+        < mount_off.env.data.stats.bytes_node_written
+    )

@@ -1,0 +1,13 @@
+"""Figure 2a: tar / untar latency."""
+
+import pytest
+
+from benchmarks.conftest import run_cell
+from repro.harness.figures import fig2a_tar
+from repro.harness.runner import FIG2_SYSTEMS
+
+
+@pytest.mark.parametrize("system", FIG2_SYSTEMS)
+def test_fig2a(benchmark, bench_scale, system):
+    values = run_cell(benchmark, fig2a_tar, system, bench_scale)
+    assert values["tar"] > 0 and values["untar"] > 0

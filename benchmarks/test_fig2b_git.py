@@ -1,0 +1,13 @@
+"""Figure 2b: git clone / git diff latency."""
+
+import pytest
+
+from benchmarks.conftest import run_cell
+from repro.harness.figures import fig2b_git
+from repro.harness.runner import FIG2_SYSTEMS
+
+
+@pytest.mark.parametrize("system", FIG2_SYSTEMS)
+def test_fig2b(benchmark, bench_scale, system):
+    values = run_cell(benchmark, fig2b_git, system, bench_scale)
+    assert values["clone"] > 0 and values["diff"] > 0

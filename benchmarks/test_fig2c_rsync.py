@@ -1,0 +1,23 @@
+"""Figure 2c: rsync bandwidth (fresh and --in-place)."""
+
+import pytest
+
+from benchmarks.conftest import run_cell
+from repro.harness.figures import fig2c_rsync
+from repro.harness.runner import FIG2_SYSTEMS
+
+
+@pytest.mark.parametrize("system", FIG2_SYSTEMS)
+def test_fig2c(benchmark, bench_scale, system):
+    values = run_cell(benchmark, fig2c_rsync, system, bench_scale)
+    assert values["rsync"] > 0 and values["rsync_in_place"] > 0
+
+
+def test_shape_betrfs_v06_wins_in_place(bench_scale):
+    """The paper's headline rsync result: with --in-place, BetrFS v0.6
+    clearly beats BetrFS v0.4 (no temp-file + rename on a full-path
+    index)."""
+    v06 = fig2c_rsync("BetrFS v0.6", bench_scale)
+    v04 = fig2c_rsync("BetrFS v0.4", bench_scale)
+    assert v06["rsync_in_place"] > v04["rsync_in_place"]
+    assert v06["rsync_in_place"] > v06["rsync"]

@@ -1,0 +1,13 @@
+"""Figure 2d: Dovecot-style mailserver throughput."""
+
+import pytest
+
+from benchmarks.conftest import run_cell
+from repro.harness.figures import fig2d_mailserver
+from repro.harness.runner import FIG2_SYSTEMS
+
+
+@pytest.mark.parametrize("system", FIG2_SYSTEMS)
+def test_fig2d(benchmark, bench_scale, system):
+    values = run_cell(benchmark, fig2d_mailserver, system, bench_scale)
+    assert values["mailserver"] > 0

@@ -1,0 +1,13 @@
+"""Figure 2e: Filebench OLTP personality."""
+
+import pytest
+
+from benchmarks.conftest import run_cell
+from repro.harness.figures import fig2e_oltp
+from repro.harness.runner import FIG2_SYSTEMS
+
+
+@pytest.mark.parametrize("system", FIG2_SYSTEMS)
+def test_fig2e(benchmark, bench_scale, system):
+    values = run_cell(benchmark, fig2e_oltp, system, bench_scale)
+    assert values["oltp"] > 0

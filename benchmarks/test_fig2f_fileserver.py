@@ -1,0 +1,20 @@
+"""Figure 2f: Filebench Fileserver personality.
+
+BetrFS v0.4 is reported as "crash" here, matching the paper's note
+that v0.4 crashes on FileServer.
+"""
+
+import pytest
+
+from benchmarks.conftest import run_cell
+from repro.harness.figures import fig2f_fileserver
+from repro.harness.runner import FIG2_SYSTEMS
+
+
+@pytest.mark.parametrize("system", FIG2_SYSTEMS)
+def test_fig2f(benchmark, bench_scale, system):
+    values = run_cell(benchmark, fig2f_fileserver, system, bench_scale)
+    if system == "BetrFS v0.4":
+        assert values["fileserver"] is None  # crashes, as in the paper
+    else:
+        assert values["fileserver"] > 0

@@ -1,0 +1,13 @@
+"""Figure 2g: Filebench Webserver personality."""
+
+import pytest
+
+from benchmarks.conftest import run_cell
+from repro.harness.figures import fig2g_webserver
+from repro.harness.runner import FIG2_SYSTEMS
+
+
+@pytest.mark.parametrize("system", FIG2_SYSTEMS)
+def test_fig2g(benchmark, bench_scale, system):
+    values = run_cell(benchmark, fig2g_webserver, system, bench_scale)
+    assert values["webserver"] > 0

@@ -1,0 +1,13 @@
+"""Figure 2h: Filebench Webproxy personality."""
+
+import pytest
+
+from benchmarks.conftest import run_cell
+from repro.harness.figures import fig2h_webproxy
+from repro.harness.runner import FIG2_SYSTEMS
+
+
+@pytest.mark.parametrize("system", FIG2_SYSTEMS)
+def test_fig2h(benchmark, bench_scale, system):
+    values = run_cell(benchmark, fig2h_webproxy, system, bench_scale)
+    assert values["webproxy"] > 0

@@ -1,0 +1,37 @@
+"""Table 1: file-system comparison microbenchmarks.
+
+One benchmark per (file system, microbenchmark) cell.  The simulated
+MB/s / Kop/s / seconds value — the number to compare against Table 1
+of the paper — lands in ``extra_info``.
+"""
+
+import pytest
+
+from benchmarks.conftest import run_cell
+from repro.harness.runner import (
+    TABLE1_SYSTEMS,
+    micro_grep,
+    micro_find,
+    micro_rand_4b,
+    micro_rand_4k,
+    micro_rm,
+    micro_seq,
+    micro_tokubench,
+)
+
+CELLS = {
+    "seq": micro_seq,
+    "rand_4k": micro_rand_4k,
+    "rand_4b": micro_rand_4b,
+    "tokubench": micro_tokubench,
+    "grep": micro_grep,
+    "rm": micro_rm,
+    "find": micro_find,
+}
+
+
+@pytest.mark.parametrize("system", TABLE1_SYSTEMS)
+@pytest.mark.parametrize("cell", sorted(CELLS))
+def test_table1_cell(benchmark, bench_scale, system, cell):
+    values = run_cell(benchmark, CELLS[cell], system, bench_scale)
+    assert all(v > 0 for v in values.values())

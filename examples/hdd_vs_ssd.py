@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""The paper's motivating observation: BetrFS v0.4 was *compleat on an
+HDD* but falls apart on an SSD.
+
+"It may seem counter-intuitive that a file system would exhibit such
+different performance profiles when the only system change is a faster
+block device, but there are principled reasons why this is so." (§1)
+
+On an HDD, seeks dominate and BetrFS's batching/locality wins; on an
+SSD, the device is so fast that v0.4's CPU overheads (copies, double
+journaling, eager apply-on-query) become the bottleneck.  This example
+mounts BetrFS v0.4 and ext4 on both device profiles and shows the
+relative position flip.
+
+Run:  python examples/hdd_vs_ssd.py
+"""
+
+import dataclasses
+
+from repro.betrfs.filesystem import MountOptions, make_betrfs
+from repro.baselines.mount import make_baseline
+from repro.model.profiles import COMMODITY_HDD, COMMODITY_SSD, scaled_profile
+from repro.workloads.randwrite import random_write_4k
+from repro.workloads.scale import SMOKE_SCALE
+from repro.workloads.sequential import seq_read, seq_write
+
+
+def run(profile):
+    results = {}
+    for name in ("ext4", "BetrFS v0.4"):
+        opts = MountOptions(
+            profile=profile,
+            scale=SMOKE_SCALE.geometry,
+            page_cache_bytes=SMOKE_SCALE.page_cache_bytes,
+            dirty_limit_bytes=SMOKE_SCALE.dirty_limit_bytes,
+            tree_cache_bytes=SMOKE_SCALE.tree_cache_bytes,
+        )
+        mount = (
+            make_baseline(name, opts) if name == "ext4" else make_betrfs(name, opts)
+        )
+        w = seq_write(mount, SMOKE_SCALE)
+        r = seq_read(mount, SMOKE_SCALE)
+        opts2 = dataclasses.replace(
+            opts, page_cache_bytes=SMOKE_SCALE.rand_file_bytes * 2,
+            tree_cache_bytes=SMOKE_SCALE.rand_file_bytes * 2,
+        )
+        mount2 = (
+            make_baseline(name, opts2) if name == "ext4" else make_betrfs(name, opts2)
+        )
+        k = random_write_4k(mount2, SMOKE_SCALE)
+        results[name] = (w, r, k)
+    return results
+
+
+def show(title, results):
+    print(f"\n{title}")
+    print(f"{'':14s} {'seq write':>12s} {'seq read':>12s} {'rand 4KiB':>12s}")
+    for name, (w, r, k) in results.items():
+        print(f"{name:14s} {w:9.1f} MB/s {r:9.1f} MB/s {k:9.2f} MB/s")
+    v04 = results["BetrFS v0.4"]
+    ext4 = results["ext4"]
+    print(f"{'v0.4 / ext4':14s} {v04[0]/ext4[0]:11.2f}x {v04[1]/ext4[1]:11.2f}x "
+          f"{v04[2]/ext4[2]:11.2f}x")
+
+
+def main() -> None:
+    ssd = scaled_profile(COMMODITY_SSD, 1.0 / 2560.0)
+    show("Commodity SSD (Samsung 860 EVO profile)", run(ssd))
+    show("Commodity HDD (7200 RPM profile)", run(COMMODITY_HDD))
+    print(
+        "\nOn the HDD, v0.4's sequential I/O is competitive (the device "
+        "hides its CPU costs) and random writes crush ext4.  On the SSD "
+        "the same code is a fraction of ext4's sequential bandwidth — "
+        "the gap BetrFS v0.6's optimizations (§3-§6) close."
+    )
+
+
+if __name__ == "__main__":
+    main()

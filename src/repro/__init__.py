@@ -1,0 +1,13 @@
+"""repro — simulation reproduction of BetrFS v0.6 (EuroSys 2022).
+
+Public entry points:
+
+* :mod:`repro.core` — the B\N{LATIN SMALL LETTER OPEN E}-tree write-optimized key-value store.
+* :mod:`repro.betrfs` — BetrFS built on the B-epsilon-tree, with every paper
+  optimization behind a feature flag (v0.4 ... v0.6).
+* :mod:`repro.baselines` — simplified ext4/Btrfs/XFS/F2FS/ZFS models.
+* :mod:`repro.harness` — regenerates every table and figure of the
+  paper's evaluation.
+"""
+
+__version__ = "0.6.0"

@@ -1,0 +1,27 @@
+"""Simplified models of the comparison file systems.
+
+The paper compares BetrFS against ext4, Btrfs, XFS, F2FS and ZFS.  For
+the reproduction we model each as a :class:`~repro.baselines.base.
+BaselineFS` — an update-in-place / copy-on-write / log-structured
+block-mapping file system under the same simulated VFS — parameterized
+by a small set of per-FS constants (journal behaviour, metadata read
+fan-out, per-page write-back overheads, data checksumming).  The
+constants are calibrated against Table 1 of the paper and documented
+in :mod:`repro.baselines.params`.
+
+This matches the role baselines play in the paper: what matters is the
+*class* of I/O pattern each design produces for a given workload, not
+their internal data structures.
+"""
+
+from repro.baselines.base import BaselineFS
+from repro.baselines.params import BASELINES, BaselineParams
+from repro.baselines.mount import BaselineMount, make_baseline
+
+__all__ = [
+    "BaselineFS",
+    "BaselineParams",
+    "BASELINES",
+    "BaselineMount",
+    "make_baseline",
+]

@@ -1,0 +1,46 @@
+"""Mount assembly for baseline file systems."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.baselines.base import BaselineFS
+from repro.baselines.params import BASELINES
+from repro.betrfs.filesystem import MountOptions
+from repro.device.block import BlockDevice
+from repro.device.clock import SimClock
+from repro.vfs.vfs import VFS
+
+
+class BaselineMount:
+    """One mounted baseline file system (same facade as BetrFS)."""
+
+    def __init__(self, name: str, opts: Optional[MountOptions] = None) -> None:
+        if name not in BASELINES:
+            raise KeyError(
+                f"unknown baseline {name!r}; choose from {list(BASELINES)}"
+            )
+        self.name = name
+        self.opts = opts or MountOptions()
+        self.clock = SimClock()
+        self.costs = self.opts.costs
+        self.device = BlockDevice(self.clock, self.opts.profile)
+        self.backend = BaselineFS(self.device, self.costs, BASELINES[name])
+        self.vfs = VFS(
+            self.backend,
+            self.clock,
+            self.costs,
+            page_cache_bytes=self.opts.page_cache_bytes,
+            dirty_limit_bytes=self.opts.dirty_limit_bytes,
+        )
+
+    def sync(self) -> None:
+        self.vfs.sync()
+
+    def drop_caches(self) -> None:
+        self.vfs.drop_caches()
+
+
+def make_baseline(name: str, opts: Optional[MountOptions] = None) -> BaselineMount:
+    """Build a simulated mount of one comparison file system."""
+    return BaselineMount(name, opts)

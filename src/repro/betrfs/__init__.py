@@ -1,0 +1,22 @@
+"""BetrFS: the paper's file system, assembled from the substrates.
+
+* :mod:`repro.betrfs.versions` — feature-flag sets for BetrFS v0.4 and
+  each cumulative optimization row of Table 3 (+SFL ... +QRY = v0.6).
+* :mod:`repro.betrfs.northbound` — VFS-to-key-value translation.
+* :mod:`repro.betrfs.filesystem` — builds a full simulated mount
+  (device + allocator + southbound + KV environment + VFS).
+"""
+
+from repro.betrfs.versions import BetrFSFeatures, VERSIONS, V0_4, V0_6
+from repro.betrfs.northbound import BetrFSNorthbound
+from repro.betrfs.filesystem import BetrFS, make_betrfs
+
+__all__ = [
+    "BetrFSFeatures",
+    "VERSIONS",
+    "V0_4",
+    "V0_6",
+    "BetrFSNorthbound",
+    "BetrFS",
+    "make_betrfs",
+]

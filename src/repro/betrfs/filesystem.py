@@ -1,0 +1,146 @@
+"""Assembly of a complete simulated BetrFS mount.
+
+``make_betrfs("BetrFS v0.6")`` wires together the device, allocator,
+southbound substrate, key-value environment, northbound layer, and the
+VFS — honouring every feature flag of the requested variant — and
+returns a :class:`BetrFS` handle whose ``vfs`` attribute is the
+syscall interface workloads drive.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.betrfs.northbound import BetrFSNorthbound
+from repro.betrfs.versions import VERSIONS, BetrFSFeatures
+from repro.core.config import BeTreeConfig
+from repro.core.env import KVEnv
+from repro.device.block import BlockDevice
+from repro.device.clock import SimClock
+from repro.kmem.allocator import KernelAllocator
+from repro.kmem.coop import CooperativeAllocator
+from repro.model.costs import CostModel
+from repro.model.profiles import COMMODITY_SSD, DeviceProfile
+from repro.storage.ext4sim import Ext4Southbound
+from repro.storage.sfl import SimpleFileLayer
+from repro.vfs.vfs import VFS
+
+MIB = 1024 * 1024
+
+
+@dataclass
+class MountOptions:
+    """Sizing knobs for one simulated mount.
+
+    Benchmarks scale the tree geometry and caches down together with
+    their workloads so tree depth and flush behaviour stay
+    representative while the simulation runs quickly.
+    """
+
+    profile: DeviceProfile = COMMODITY_SSD
+    #: Geometry scale factor applied to the paper's node sizes.
+    scale: float = 1.0 / 16.0
+    page_cache_bytes: int = 128 * MIB
+    dirty_limit_bytes: int = 32 * MIB
+    log_size: int = 32 * MIB
+    meta_size: int = 512 * MIB
+    data_size: int = 8192 * MIB
+    #: Override for the node-cache budget (None = geometry-scaled).
+    tree_cache_bytes: Optional[int] = None
+    #: Raw BeTreeConfig attribute overrides applied after scaling
+    #: (ablation studies: {"pacman": False}, {"compression": True}, ...).
+    config_tweaks: Optional[dict] = None
+    costs: CostModel = field(default_factory=CostModel)
+
+
+class BetrFS:
+    """One mounted simulated BetrFS instance."""
+
+    def __init__(
+        self, features: BetrFSFeatures, opts: Optional[MountOptions] = None
+    ) -> None:
+        self.features = features
+        self.opts = opts or MountOptions()
+        self.name = features.name
+        self.clock = SimClock()
+        self.costs = self.opts.costs
+        self.device = BlockDevice(self.clock, self.opts.profile)
+        if features.coop_memory:
+            self.alloc: KernelAllocator = CooperativeAllocator(
+                self.clock, self.costs
+            )
+        else:
+            self.alloc = KernelAllocator(self.clock, self.costs)
+        self.config = BeTreeConfig(
+            page_sharing=features.page_sharing,
+            lazy_apply_on_query=features.lazy_apply_on_query,
+            tree_readahead=features.use_sfl,
+        ).scaled(self.opts.scale)
+        if self.opts.tree_cache_bytes is not None:
+            self.config.cache_bytes = self.opts.tree_cache_bytes
+        if self.opts.config_tweaks:
+            for attr, value in self.opts.config_tweaks.items():
+                if not hasattr(self.config, attr):
+                    raise AttributeError(f"unknown BeTreeConfig field {attr!r}")
+                setattr(self.config, attr, value)
+        if features.use_sfl:
+            self.storage = SimpleFileLayer(
+                self.device,
+                self.costs,
+                log_size=self.opts.log_size,
+                meta_size=self.opts.meta_size,
+            )
+        else:
+            self.storage = Ext4Southbound(self.device, self.costs)
+        self.env = KVEnv(
+            self.storage,
+            self.clock,
+            self.costs,
+            self.alloc,
+            self.config,
+            log_size=self.opts.log_size,
+            meta_size=self.opts.meta_size,
+            data_size=self.opts.data_size,
+            # The v0.6 log engine (part of the SFL consolidation, §3.1)
+            # elides full data pages from the log; the v0.4 engine
+            # logged everything.
+            log_page_values=not features.use_sfl,
+        )
+        self.backend = BetrFSNorthbound(self.env, features)
+        self.vfs = VFS(
+            self.backend,
+            self.clock,
+            self.costs,
+            page_cache_bytes=self.opts.page_cache_bytes,
+            dirty_limit_bytes=self.opts.dirty_limit_bytes,
+        )
+
+    # ------------------------------------------------------------------
+    def sync(self) -> None:
+        self.vfs.sync()
+
+    def drop_caches(self) -> None:
+        self.vfs.drop_caches()
+
+    def elapsed(self, since: float = 0.0) -> float:
+        return self.clock.now - since
+
+    def io_summary(self) -> str:
+        s = self.device.stats
+        return (
+            f"{self.name}: {s.reads} reads ({s.bytes_read >> 20} MiB), "
+            f"{s.writes} writes ({s.bytes_written >> 20} MiB), "
+            f"{s.flushes} flushes"
+        )
+
+
+def make_betrfs(
+    version: str = "BetrFS v0.6", opts: Optional[MountOptions] = None
+) -> BetrFS:
+    """Build a simulated BetrFS mount for a named Table 3 variant."""
+    if version not in VERSIONS:
+        raise KeyError(
+            f"unknown BetrFS version {version!r}; choose from {list(VERSIONS)}"
+        )
+    return BetrFS(VERSIONS[version], opts)

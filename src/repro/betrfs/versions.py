@@ -1,0 +1,76 @@
+"""Feature-flag sets for every BetrFS variant in the paper's Table 3.
+
+Optimizations are cumulative, matching the paper's evaluation rows:
+
+=========  ============================================================
+Row        Adds
+=========  ============================================================
+v0.4       baseline: stacked on ext4, eager apply-on-query, copying I/O
++SFL       Simple File Layer (§3): static layout, direct I/O, single
+           journal (v0.6 log engine), tree-level read-ahead
++RG        range-message optimizations (§4): directory-wide range
+           deletes, nlink rmdir bypass, redundant-delete elision
++MLC       cooperative memory management (§5)
++PGSH      VFS/B-epsilon-tree page sharing + aligned layout (§6)
++DC        readdir populates dentry/inode caches (§4)
++CL        conditional logging of inode creation (§3.3)
++QRY       lazy apply-on-query (§4) — this is BetrFS v0.6
+=========  ============================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict
+
+
+@dataclass(frozen=True)
+class BetrFSFeatures:
+    """Which paper optimizations are enabled."""
+
+    name: str = "BetrFS v0.4"
+    #: §3: Simple File Layer instead of stacked ext4 (includes the
+    #: reworked log engine and tree-level read-ahead).
+    use_sfl: bool = False
+    #: §4: range-message optimizations (rmdir range deletes, nlink
+    #: bypass, redundant-delete elision).
+    range_coalesce: bool = False
+    #: §5: cooperative memory management.
+    coop_memory: bool = False
+    #: §6: page sharing between the VFS and the tree.
+    page_sharing: bool = False
+    #: §4: readdir fills the dentry/inode caches.
+    dentry_cache: bool = False
+    #: §3.3: conditional logging of inode creation.
+    conditional_logging: bool = False
+    #: §4: lazy apply-on-query.
+    lazy_apply_on_query: bool = False
+
+
+def _cumulative() -> Dict[str, BetrFSFeatures]:
+    rows = {}
+    cur = BetrFSFeatures()
+    rows["BetrFS v0.4"] = cur
+    cur = replace(cur, name="+SFL", use_sfl=True)
+    rows["+SFL"] = cur
+    cur = replace(cur, name="+RG", range_coalesce=True)
+    rows["+RG"] = cur
+    cur = replace(cur, name="+MLC", coop_memory=True)
+    rows["+MLC"] = cur
+    cur = replace(cur, name="+PGSH", page_sharing=True)
+    rows["+PGSH"] = cur
+    cur = replace(cur, name="+DC", dentry_cache=True)
+    rows["+DC"] = cur
+    cur = replace(cur, name="+CL", conditional_logging=True)
+    rows["+CL"] = cur
+    cur = replace(cur, name="+QRY", lazy_apply_on_query=True)
+    rows["+QRY"] = cur
+    rows["BetrFS v0.6"] = replace(cur, name="BetrFS v0.6")
+    return rows
+
+
+#: Every Table 3 row by name (plus "BetrFS v0.6" as an alias of +QRY).
+VERSIONS: Dict[str, BetrFSFeatures] = _cumulative()
+
+V0_4 = VERSIONS["BetrFS v0.4"]
+V0_6 = VERSIONS["BetrFS v0.6"]

@@ -1,0 +1,119 @@
+"""Node cache for the B-epsilon-tree environment.
+
+One cache is shared by all trees in an environment (like TokuDB's
+cachetable).  Nodes are kept by globally-unique node id; eviction is
+LRU over unpinned nodes, writing back dirty victims through a
+per-tree writer callback.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Callable, Dict, Optional, Tuple
+
+from repro.core.node import Node
+
+
+class NodeCache:
+    """Shared LRU node cache with pinning and dirty write-back."""
+
+    def __init__(self, budget_bytes: int) -> None:
+        self.budget = budget_bytes
+        #: node_id -> (node, owner) in LRU order (oldest first).
+        self._nodes: "OrderedDict[int, Tuple[Node, object]]" = OrderedDict()
+        self._pins: Dict[int, int] = {}
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.dirty_evictions = 0
+
+    # ------------------------------------------------------------------
+    def get(self, node_id: int) -> Optional[Node]:
+        entry = self._nodes.get(node_id)
+        if entry is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        self._nodes.move_to_end(node_id)
+        return entry[0]
+
+    def put(self, node: Node, owner: object) -> None:
+        self._nodes[node.node_id] = (node, owner)
+        self._nodes.move_to_end(node.node_id)
+
+    def pin(self, node_id: int) -> None:
+        self._pins[node_id] = self._pins.get(node_id, 0) + 1
+
+    def unpin(self, node_id: int) -> None:
+        count = self._pins.get(node_id, 0) - 1
+        if count <= 0:
+            self._pins.pop(node_id, None)
+        else:
+            self._pins[node_id] = count
+
+    def pinned(self, node_id: int) -> bool:
+        return self._pins.get(node_id, 0) > 0
+
+    def remove(self, node_id: int) -> None:
+        self._nodes.pop(node_id, None)
+
+    def memory_used(self) -> int:
+        return sum(node.nbytes() for node, _ in self._nodes.values())
+
+    def owner_of(self, node_id: int) -> Optional[object]:
+        entry = self._nodes.get(node_id)
+        return entry[1] if entry else None
+
+    # ------------------------------------------------------------------
+    def evict_to_fit(
+        self,
+        writer: Callable[[object, Node], None],
+        on_evict: Optional[Callable[[object, Node], None]] = None,
+    ) -> None:
+        """Evict LRU unpinned nodes until within budget.
+
+        ``writer(owner, node)`` persists a dirty victim; ``on_evict``
+        runs for every victim (releases simulated buffer memory).
+        """
+        if not self._nodes:
+            return
+        used = self.memory_used()
+        if used <= self.budget:
+            return
+        # Leaves are evicted before internal nodes (like the TokuDB
+        # cachetable): internal nodes are tiny relative to the data
+        # they index and re-reading them costs a random I/O per query.
+        leaf_ids = [
+            nid for nid, (n, _o) in self._nodes.items() if n.is_leaf
+        ]
+        internal_ids = [
+            nid for nid, (n, _o) in self._nodes.items() if not n.is_leaf
+        ]
+        for node_id in leaf_ids + internal_ids:
+            if used <= self.budget:
+                break
+            if self.pinned(node_id):
+                continue
+            node, owner = self._nodes[node_id]
+            if node.dirty:
+                writer(owner, node)
+                self.dirty_evictions += 1
+            used -= node.nbytes()
+            del self._nodes[node_id]
+            self.evictions += 1
+            if on_evict is not None:
+                on_evict(owner, node)
+
+    def dirty_nodes(self):
+        """Iterate (owner, node) over all dirty cached nodes."""
+        for node, owner in list(self._nodes.values()):
+            if node.dirty:
+                yield owner, node
+
+    def all_nodes(self):
+        for node, owner in list(self._nodes.values()):
+            yield owner, node
+
+    def clear(self) -> None:
+        self._nodes.clear()
+        self._pins.clear()

@@ -1,0 +1,228 @@
+"""Copy-on-write node storage and checkpointing.
+
+On-disk B-epsilon-tree nodes are copy-on-write (§2.2): writing a node
+allocates a fresh extent; the old extent is reclaimed only once a
+checkpoint that no longer references it commits.  The
+:class:`BlockManager` owns the extent allocator and the node
+translation table (node id -> extent); the table itself is serialized
+into the superblock region at each checkpoint, together with the log
+position to replay from.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+from typing import Dict, List, Optional, Tuple
+
+SUPERBLOCK_MAGIC = b"BFSB"
+
+#: Alignment of node extents.
+EXTENT_ALIGN = 4096
+
+
+class BlockManager:
+    """Extent allocator + node translation table for one tree file."""
+
+    def __init__(self, file_size: int, reserve: int = 0) -> None:
+        #: Node id -> (offset, length) of the *checkpointed* copy.
+        self.table: Dict[int, Tuple[int, int]] = {}
+        self.file_size = file_size
+        #: Bump cursor for fresh space (starts after any reserve).
+        self.cursor = reserve
+        #: Free extents: list of (offset, length), kept unsorted; the
+        #: allocator is first-fit which is adequate for the simulation.
+        self.free_list: List[Tuple[int, int]] = []
+        #: Extents to reclaim once the *next* checkpoint commits (the
+        #: previous checkpoint may still reference them).
+        self.deferred_free: List[Tuple[int, int]] = []
+
+    @staticmethod
+    def _align(n: int) -> int:
+        return (n + EXTENT_ALIGN - 1) // EXTENT_ALIGN * EXTENT_ALIGN
+
+    def allocate(self, nbytes: int) -> int:
+        """Allocate an aligned extent of at least ``nbytes``."""
+        need = self._align(nbytes)
+        for i, (off, ln) in enumerate(self.free_list):
+            if ln >= need:
+                if ln == need:
+                    self.free_list.pop(i)
+                else:
+                    self.free_list[i] = (off + need, ln - need)
+                return off
+        off = self.cursor
+        self.cursor += need
+        if self.cursor > self.file_size:
+            raise RuntimeError("tree file out of space")
+        return off
+
+    def relocate(self, node_id: int, nbytes: int) -> int:
+        """CoW-allocate a new extent for ``node_id``; defer-free the old.
+
+        The translation table records the *exact* byte length (reads
+        must not pick up alignment padding); the free lists work in
+        aligned units.
+        """
+        old = self.table.get(node_id)
+        off = self.allocate(nbytes)
+        self.table[node_id] = (off, nbytes)
+        if old is not None:
+            old_off, old_len = old
+            self.deferred_free.append((old_off, self._align(old_len)))
+        return off
+
+    def lookup(self, node_id: int) -> Tuple[int, int]:
+        return self.table[node_id]
+
+    def contains(self, node_id: int) -> bool:
+        return node_id in self.table
+
+    def drop(self, node_id: int) -> None:
+        old = self.table.pop(node_id, None)
+        if old is not None:
+            self.deferred_free.append((old[0], self._align(old[1])))
+
+    def commit_checkpoint(self) -> None:
+        """The checkpoint is durable: reclaim deferred extents."""
+        self.free_list.extend(self.deferred_free)
+        self.deferred_free.clear()
+
+    # ------------------------------------------------------------------
+    # Serialization (into the superblock region)
+    # ------------------------------------------------------------------
+    def serialize(self) -> bytes:
+        out = [struct.pack("<qqi", self.cursor, self.file_size, len(self.table))]
+        for node_id in sorted(self.table):
+            off, ln = self.table[node_id]
+            out.append(struct.pack("<qqq", node_id, off, ln))
+        out.append(struct.pack("<i", len(self.free_list)))
+        for off, ln in self.free_list:
+            out.append(struct.pack("<qq", off, ln))
+        return b"".join(out)
+
+    @classmethod
+    def deserialize(cls, data: bytes) -> "BlockManager":
+        cursor, file_size, n = struct.unpack_from("<qqi", data, 0)
+        mgr = cls(file_size)
+        mgr.cursor = cursor
+        pos = 20
+        for _ in range(n):
+            node_id, off, ln = struct.unpack_from("<qqq", data, pos)
+            pos += 24
+            mgr.table[node_id] = (off, ln)
+        (nfree,) = struct.unpack_from("<i", data, pos)
+        pos += 4
+        for _ in range(nfree):
+            off, ln = struct.unpack_from("<qq", data, pos)
+            pos += 16
+            mgr.free_list.append((off, ln))
+        return mgr
+
+
+class Superblock:
+    """Checkpoint metadata persisted in the superblock region.
+
+    Two slots are written alternately so a crash during a checkpoint
+    write leaves the previous checkpoint intact (the standard
+    ping-pong superblock technique).
+    """
+
+    SLOT_SIZE = 4 * 1024 * 1024
+
+    def __init__(self) -> None:
+        self.generation = 0
+        self.checkpoint_lsn = 0
+        self.log_head = 0
+        self.log_tail = 0
+        self.next_node_id = 1
+        self.next_msn = 1
+        self.root_ids: List[int] = []  # root node id per tree
+        self.block_tables: List[bytes] = []  # serialized BlockManager per tree
+        self.clean_shutdown = False
+
+    def serialize(self) -> bytes:
+        body = [
+            SUPERBLOCK_MAGIC,
+            struct.pack(
+                "<qqqqqqB i",
+                self.generation,
+                self.checkpoint_lsn,
+                self.log_head,
+                self.log_tail,
+                self.next_node_id,
+                self.next_msn,
+                1 if self.clean_shutdown else 0,
+                len(self.root_ids),
+            ),
+        ]
+        for root in self.root_ids:
+            body.append(struct.pack("<q", root))
+        for table in self.block_tables:
+            body.append(struct.pack("<I", len(table)))
+            body.append(table)
+        blob = b"".join(body)
+        crc = struct.pack("<I", zlib.crc32(blob) & 0xFFFFFFFF)
+        return blob + crc
+
+    @classmethod
+    def deserialize(cls, data: bytes) -> Optional["Superblock"]:
+        if len(data) < 8 or data[:4] != SUPERBLOCK_MAGIC:
+            return None
+        blob, crc_raw = data[:-4], data[-4:]
+        if struct.unpack("<I", crc_raw)[0] != (zlib.crc32(blob) & 0xFFFFFFFF):
+            return None
+        sb = cls()
+        (
+            sb.generation,
+            sb.checkpoint_lsn,
+            sb.log_head,
+            sb.log_tail,
+            sb.next_node_id,
+            sb.next_msn,
+            clean,
+            n_roots,
+        ) = struct.unpack_from("<qqqqqqB i", data, 4)
+        sb.clean_shutdown = bool(clean)
+        pos = 4 + struct.calcsize("<qqqqqqB i")
+        for _ in range(n_roots):
+            (root,) = struct.unpack_from("<q", data, pos)
+            pos += 8
+            sb.root_ids.append(root)
+        for _ in range(n_roots):
+            (tlen,) = struct.unpack_from("<I", data, pos)
+            pos += 4
+            sb.block_tables.append(data[pos : pos + tlen])
+            pos += tlen
+        return sb
+
+    @classmethod
+    def load_latest(cls, slot0: bytes, slot1: bytes) -> Optional["Superblock"]:
+        """Pick the newest valid superblock of the two slots."""
+        a = cls.deserialize(_trim(slot0))
+        b = cls.deserialize(_trim(slot1))
+        if a is None:
+            return b
+        if b is None:
+            return a
+        return a if a.generation >= b.generation else b
+
+
+def _trim(raw: bytes) -> bytes:
+    """Strip zero padding after the CRC.
+
+    Superblock slots are fixed-size regions; the serialized blob is
+    shorter.  A 4-byte length prefix would be cleaner, but matching
+    the checkpoint format we locate the blob by its own length word:
+    the blob is self-delimiting because we persist it with a length
+    header added by the caller.
+    """
+    if len(raw) < 4:
+        return raw
+    (length,) = struct.unpack_from("<I", raw, 0)
+    return raw[4 : 4 + length]
+
+
+def frame_superblock(blob: bytes) -> bytes:
+    """Add the length header expected by :func:`_trim`."""
+    return struct.pack("<I", len(blob)) + blob

@@ -1,0 +1,79 @@
+"""Public range-cursor API over a B-epsilon-tree.
+
+TokuDB exposes cursors (DBC) to its users; BetrFS's readdir and scans
+are cursor-driven.  :class:`Cursor` provides the same shape on top of
+the tree's seek/scan primitives: position with :meth:`seek`, advance
+with :meth:`next`, and re-seek at will.  Consistency model: each
+advance observes the tree as of that moment (like a TokuDB cursor
+without a snapshot transaction); deletions behind the cursor are never
+revisited.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.core.messages import Value
+from repro.core.tree import BeTree
+
+#: Upper bound sentinel (beyond any practical key).
+_END = b"\xff" * 64
+
+
+class Cursor:
+    """An ordered forward cursor over ``[start, end)`` of one tree."""
+
+    #: Rows fetched per underlying range query (getdents-style).
+    CHUNK = 64
+
+    def __init__(
+        self,
+        tree: BeTree,
+        start: bytes = b"",
+        end: bytes = _END,
+    ) -> None:
+        self.tree = tree
+        self.start = start
+        self.end = end
+        self._pos = start
+        self._buffer: list = []
+        self._exhausted = False
+
+    # ------------------------------------------------------------------
+    def seek(self, key: bytes) -> None:
+        """Reposition so the next row is the first key >= ``key``."""
+        self._pos = max(key, self.start)
+        self._buffer = []
+        self._exhausted = False
+
+    def next(self) -> Optional[Tuple[bytes, Value]]:
+        """The next live pair, or None when the range is exhausted."""
+        if not self._buffer and not self._exhausted:
+            self._fill()
+        if not self._buffer:
+            return None
+        key, value = self._buffer.pop(0)
+        self._pos = key + b"\x00"
+        return key, value
+
+    def peek(self) -> Optional[Tuple[bytes, Value]]:
+        """The next pair without consuming it."""
+        if not self._buffer and not self._exhausted:
+            self._fill()
+        return self._buffer[0] if self._buffer else None
+
+    def _fill(self) -> None:
+        rows = self.tree.range_query(self._pos, self.end, limit=self.CHUNK)
+        if len(rows) < self.CHUNK:
+            self._exhausted = True
+        self._buffer = rows
+        if rows:
+            # Subsequent fills resume past the last buffered key.
+            self._pos = rows[-1][0] + b"\x00"
+
+    def __iter__(self):
+        while True:
+            row = self.next()
+            if row is None:
+                return
+            yield row

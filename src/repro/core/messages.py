@@ -1,0 +1,242 @@
+"""Message types for the B-epsilon-tree.
+
+Messages are serializable objects that logically describe an operation
+on one or more key-value pairs (paper §2.1).  Each message carries a
+Message Sequence Number (MSN); applying messages to a key in MSN order
+reconstructs the key's latest value.
+
+Point messages:
+
+* :class:`Insert` — set ``key`` to ``value`` (blind write).
+* :class:`InsertByRef` — §6: set ``key`` to the contents of a page
+  frame, passed through the tree *by reference* (zero copy).
+* :class:`Delete` — remove ``key``.
+* :class:`Patch` — blind sub-block update: overwrite ``len(data)``
+  bytes at ``offset`` within the value (this is how 4-byte random
+  writes avoid read-modify-write).
+
+Range messages:
+
+* :class:`RangeDelete` — remove every key in ``[start, end)``.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Optional, Union
+
+_frame_ids = itertools.count(1)
+
+
+class PageFrame:
+    """A 4 KiB (or smaller) page of file data, shareable by reference.
+
+    One frame may simultaneously be referenced by the VFS page cache
+    and by messages/basement entries inside the B-epsilon-tree (§6).
+    Frames are copy-on-write: once ``sealed`` (referenced by the tree),
+    the VFS must allocate a new frame to accept an overwrite.
+    """
+
+    __slots__ = ("frame_id", "data", "refs", "sealed")
+
+    def __init__(self, data: bytes) -> None:
+        self.frame_id = next(_frame_ids)
+        self.data = data
+        self.refs = 1
+        self.sealed = False
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    def get(self) -> int:
+        """Take a reference (returns new count)."""
+        self.refs += 1
+        return self.refs
+
+    def put(self) -> int:
+        """Drop a reference (returns new count)."""
+        self.refs -= 1
+        if self.refs <= 0:
+            self.sealed = False
+        return self.refs
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"PageFrame(#{self.frame_id} {len(self.data)}B refs={self.refs})"
+
+
+#: Values stored in the tree are either raw bytes (metadata, small
+#: values) or page frames (file data blocks).
+Value = Union[bytes, PageFrame]
+
+
+def value_bytes(value: Value) -> bytes:
+    """Materialize a value as bytes (dereferences page frames)."""
+    if isinstance(value, PageFrame):
+        return value.data
+    return value
+
+
+def value_len(value: Optional[Value]) -> int:
+    if value is None:
+        return 0
+    return len(value)
+
+
+class Message:
+    """Base class for all messages."""
+
+    __slots__ = ("msn",)
+    kind = "?"
+    is_range = False
+
+    def __init__(self, msn: int = 0) -> None:
+        self.msn = msn
+
+    def nbytes(self) -> int:
+        """Approximate in-memory/serialized size of this message."""
+        raise NotImplementedError
+
+
+class PointMessage(Message):
+    """A message that targets exactly one key."""
+
+    __slots__ = ("key",)
+
+    def __init__(self, key: bytes, msn: int = 0) -> None:
+        super().__init__(msn)
+        self.key = key
+
+    #: Fixed per-message header overhead (type, MSN, lengths).
+    HEADER = 16
+
+    def nbytes(self) -> int:
+        return self.HEADER + len(self.key)
+
+
+class Insert(PointMessage):
+    """Blind write of a full value."""
+
+    __slots__ = ("value",)
+    kind = "insert"
+
+    def __init__(self, key: bytes, value: Value, msn: int = 0) -> None:
+        super().__init__(key, msn)
+        self.value = value
+
+    def nbytes(self) -> int:
+        return self.HEADER + len(self.key) + value_len(self.value)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"Insert({self.key!r}, {value_len(self.value)}B, msn={self.msn})"
+
+
+class InsertByRef(PointMessage):
+    """Zero-copy insert of a page frame (paper §6, insertByRef).
+
+    The frame travels down the tree by reference; ``deref`` recovers
+    the bytes when the node is finally serialized.
+    """
+
+    __slots__ = ("frame",)
+    kind = "insert_by_ref"
+
+    def __init__(self, key: bytes, frame: PageFrame, msn: int = 0) -> None:
+        super().__init__(key, msn)
+        self.frame = frame
+        frame.get()
+        frame.sealed = True
+
+    @property
+    def value(self) -> PageFrame:
+        return self.frame
+
+    def deref(self) -> bytes:
+        return self.frame.data
+
+    def nbytes(self) -> int:
+        # The frame itself is not copied into the buffer; only the key
+        # and the reference are.  For *on-disk* sizing the frame bytes
+        # count (see serialize.py); buffer memory accounting counts the
+        # data too because the frame is pinned while referenced.
+        return self.HEADER + len(self.key) + len(self.frame)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"InsertByRef({self.key!r}, frame#{self.frame.frame_id}, msn={self.msn})"
+
+
+class Delete(PointMessage):
+    """Remove one key."""
+
+    __slots__ = ()
+    kind = "delete"
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"Delete({self.key!r}, msn={self.msn})"
+
+
+class Patch(PointMessage):
+    """Blind sub-value update: write ``data`` at ``offset`` in the value.
+
+    Applying a patch to a missing value materializes a zero-filled
+    value of length ``offset + len(data)`` first (block writes into
+    sparse files behave this way).
+    """
+
+    __slots__ = ("offset", "data")
+    kind = "patch"
+
+    def __init__(self, key: bytes, offset: int, data: bytes, msn: int = 0) -> None:
+        super().__init__(key, msn)
+        self.offset = offset
+        self.data = data
+
+    def nbytes(self) -> int:
+        return self.HEADER + len(self.key) + 4 + len(self.data)
+
+    def apply_to(self, old: Optional[Value]) -> bytes:
+        base = value_bytes(old) if old is not None else b""
+        end = self.offset + len(self.data)
+        if len(base) < end:
+            base = base + b"\x00" * (end - len(base))
+        return base[: self.offset] + self.data + base[end:]
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"Patch({self.key!r}, off={self.offset}, {len(self.data)}B, msn={self.msn})"
+
+
+class RangeDelete(Message):
+    """Remove every key in the half-open range [start, end)."""
+
+    __slots__ = ("start", "end")
+    kind = "range_delete"
+    is_range = True
+
+    HEADER = 16
+
+    def __init__(self, start: bytes, end: bytes, msn: int = 0) -> None:
+        super().__init__(msn)
+        if start >= end:
+            raise ValueError("empty range delete")
+        self.start = start
+        self.end = end
+
+    def nbytes(self) -> int:
+        return self.HEADER + len(self.start) + len(self.end)
+
+    def covers_key(self, key: bytes) -> bool:
+        return self.start <= key < self.end
+
+    def covers_range(self, start: bytes, end: bytes) -> bool:
+        return self.start <= start and end <= self.end
+
+    def overlaps(self, start: bytes, end: bytes) -> bool:
+        return self.start < end and start < self.end
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"RangeDelete([{self.start!r}, {self.end!r}), msn={self.msn})"
+
+
+def release_message(msg: Message) -> None:
+    """Drop any page-frame reference held by a message."""
+    if isinstance(msg, InsertByRef):
+        msg.frame.put()

@@ -1,0 +1,566 @@
+"""Node (de)serialization.
+
+Two leaf layouts are supported:
+
+* **packed** (baseline): each basement is a packed run of
+  ``key1,value1,key2,value2,...`` — reading a file block out of it
+  requires copying, and writing requires serializing every byte.
+* **aligned** (paper §6, +PGSH): keys and small values are packed at
+  the front of each basement and all 4 KiB page values are placed in
+  4 KiB-aligned slots at the end.  With scatter-gather I/O only the
+  small front section costs serialization CPU; pages are passed by
+  reference (zero copy), and a node read leaves every file block
+  4 KiB-aligned in memory, ready to be shared with the page cache.
+
+Both layouts apply *lifting*-style prefix compression: the longest
+common prefix of all keys in the node is stored once in the header and
+stripped from every key.
+
+Every serialized node ends with a CRC32 of its payload, matching the
+paper's at-rest corruption detection.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.core.keys import common_prefix_of
+from repro.core.messages import (
+    Delete,
+    Insert,
+    InsertByRef,
+    Message,
+    PageFrame,
+    Patch,
+    RangeDelete,
+    Value,
+    value_bytes,
+)
+from repro.core.node import BasementNode, InternalNode, LeafNode, Node
+
+MAGIC_LEAF = b"BFLF"
+MAGIC_INTERNAL = b"BFIN"
+
+_TAG_BYTES = 0
+_TAG_PAGE = 1
+
+_MSG_TAGS = {"insert": 0, "insert_by_ref": 1, "delete": 2, "patch": 3, "range_delete": 4}
+
+PAGE_ALIGN = 4096
+
+
+@dataclass
+class SerializedNode:
+    """A serialized node plus the cost-relevant byte counts."""
+
+    data: bytes
+    #: Bytes serialized through the CPU (keys, small values, headers).
+    small_bytes: int = 0
+    #: Bytes memcpy'ed (page values in the packed layout).
+    copied_bytes: int = 0
+    #: Page bytes passed by reference (aligned layout; no CPU copy).
+    ref_bytes: int = 0
+    #: Basement extent table: (offset, length) within ``data``.
+    basement_extents: List[Tuple[int, int]] = field(default_factory=list)
+    #: Length of the leaf header region (readable on its own).
+    header_len: int = 0
+
+
+def _pack_key(out: List[bytes], key: bytes, lift: int) -> int:
+    body = key[lift:]
+    out.append(struct.pack("<H", len(body)))
+    out.append(body)
+    return 2 + len(body)
+
+
+def _pack_value(out: List[bytes], value: Value) -> Tuple[int, int]:
+    """Append a value; returns (small_bytes, copied_bytes)."""
+    if isinstance(value, PageFrame):
+        out.append(struct.pack("<BI", _TAG_PAGE, len(value.data)))
+        out.append(value.data)
+        return 5, len(value.data)
+    out.append(struct.pack("<BI", _TAG_BYTES, len(value)))
+    out.append(value)
+    return 5 + len(value), 0
+
+
+# ----------------------------------------------------------------------
+# Leaf serialization
+# ----------------------------------------------------------------------
+def serialize_leaf(
+    leaf: LeafNode, aligned: bool, lifting: bool
+) -> SerializedNode:
+    all_keys: List[bytes] = []
+    for basement in leaf.basements:
+        if basement.keys:
+            all_keys.append(basement.keys[0])
+            all_keys.append(basement.keys[-1])
+    prefix = common_prefix_of(all_keys) if lifting else b""
+    lift = len(prefix)
+
+    blobs: List[bytes] = []
+    extents: List[Tuple[int, int]] = []
+    small = 0
+    copied = 0
+    ref = 0
+    for basement in leaf.basements:
+        if aligned:
+            blob, s, r = _serialize_basement_aligned(basement, lift)
+            ref += r
+        else:
+            blob, s, c = _serialize_basement_packed(basement, lift)
+            copied += c
+        small += s
+        blobs.append(blob)
+
+    header = [
+        MAGIC_LEAF,
+        struct.pack(
+            "<qiiH", leaf.node_id, leaf.height, len(leaf.basements), lift
+        ),
+        prefix,
+    ]
+    # Basement table (with per-basement first keys, enabling partial
+    # leaf loads) placed in the header so it can be read alone.
+    first_keys = []
+    for basement in leaf.basements:
+        fk = basement.first_key() or b""
+        first_keys.append(fk[lift:] if fk else b"")
+    table_pos = sum(len(p) for p in header)
+    table_size = sum(10 + len(fk) for fk in first_keys)
+    header_len = table_pos + table_size
+    if aligned:
+        header_len = _align(header_len, PAGE_ALIGN)
+    offsets = []
+    pos = header_len
+    for blob in blobs:
+        offsets.append((pos, len(blob)))
+        pos += len(blob)
+        if aligned:
+            pos = _align(pos, PAGE_ALIGN)
+    table = b"".join(
+        struct.pack("<iiH", off, ln, len(fk)) + fk
+        for (off, ln), fk in zip(offsets, first_keys)
+    )
+    header.append(table)
+    head = b"".join(header)
+    head = head + b"\x00" * (header_len - len(head))
+
+    body_parts = [head]
+    pos = header_len
+    for blob, (off, ln) in zip(blobs, offsets):
+        if pos < off:
+            body_parts.append(b"\x00" * (off - pos))
+            pos = off
+        body_parts.append(blob)
+        pos += len(blob)
+    payload = b"".join(body_parts)
+    crc = struct.pack("<I", zlib.crc32(payload) & 0xFFFFFFFF)
+    small += header_len + 4
+    return SerializedNode(
+        data=payload + crc,
+        small_bytes=small,
+        copied_bytes=copied,
+        ref_bytes=ref,
+        basement_extents=offsets,
+        header_len=header_len,
+    )
+
+
+def _align(n: int, a: int) -> int:
+    return (n + a - 1) // a * a
+
+
+def _serialize_basement_packed(
+    basement: BasementNode, lift: int
+) -> Tuple[bytes, int, int]:
+    out: List[bytes] = [struct.pack("<i", len(basement.keys))]
+    small = 4
+    copied = 0
+    for key, value, msn in basement.items_with_msn():
+        small += _pack_key(out, key, lift)
+        out.append(struct.pack("<q", msn))
+        small += 8
+        s, c = _pack_value(out, value)
+        small += s
+        copied += c
+    return b"".join(out), small, copied
+
+
+def _serialize_basement_aligned(
+    basement: BasementNode, lift: int
+) -> Tuple[bytes, int, int]:
+    """Aligned layout: small front section + aligned page slots."""
+    front: List[bytes] = [struct.pack("<i", len(basement.keys))]
+    pages: List[bytes] = []
+    small = 4
+    for key, value, msn in basement.items_with_msn():
+        small += _pack_key(front, key, lift)
+        front.append(struct.pack("<q", msn))
+        small += 8
+        data = value_bytes(value)
+        if isinstance(value, PageFrame) or len(data) >= PAGE_ALIGN:
+            front.append(struct.pack("<Bi", _TAG_PAGE, len(pages)))
+            front.append(struct.pack("<I", len(data)))
+            small += 9
+            pages.append(data)
+        else:
+            front.append(struct.pack("<Bi", _TAG_BYTES, -1))
+            front.append(struct.pack("<I", len(data)))
+            front.append(data)
+            small += 9 + len(data)
+    front_blob = b"".join(front)
+    page_area_start = _align(len(front_blob) + 4, PAGE_ALIGN)
+    parts = [struct.pack("<i", page_area_start), front_blob]
+    pos = len(front_blob) + 4
+    parts.append(b"\x00" * (page_area_start - pos))
+    ref = 0
+    pos = page_area_start
+    for data in pages:
+        parts.append(data)
+        pos += len(data)
+        ref += len(data)
+        pad = _align(pos, PAGE_ALIGN) - pos
+        if pad:
+            parts.append(b"\x00" * pad)
+            pos += pad
+    return b"".join(parts), small, ref
+
+
+# ----------------------------------------------------------------------
+# Leaf deserialization
+# ----------------------------------------------------------------------
+@dataclass
+class LeafHeader:
+    node_id: int
+    height: int
+    lift_prefix: bytes
+    basement_extents: List[Tuple[int, int]]
+    basement_first_keys: List[bytes]
+    header_len: int
+
+
+def decode_leaf_header(data: bytes, aligned: bool) -> LeafHeader:
+    if data[:4] != MAGIC_LEAF:
+        raise ValueError("bad leaf magic")
+    node_id, height, n_bas, lift = struct.unpack_from("<qiiH", data, 4)
+    pos = 4 + 18
+    prefix = data[pos : pos + lift]
+    pos += lift
+    extents = []
+    first_keys = []
+    for _ in range(n_bas):
+        off, ln, fklen = struct.unpack_from("<iiH", data, pos)
+        pos += 10
+        fk = data[pos : pos + fklen]
+        pos += fklen
+        first_keys.append(prefix + fk if fk else b"")
+        extents.append((off, ln))
+    header_len = extents[0][0] if extents else pos
+    return LeafHeader(node_id, height, prefix, extents, first_keys, header_len)
+
+
+def decode_basement(blob: bytes, prefix: bytes, aligned: bool) -> BasementNode:
+    basement = BasementNode()
+    if aligned:
+        (page_area_start,) = struct.unpack_from("<i", blob, 0)
+        pos = 4
+        (count,) = struct.unpack_from("<i", blob, pos)
+        pos += 4
+        entries: List[Tuple[bytes, int, int, int, int, bytes]] = []
+        for _ in range(count):
+            (klen,) = struct.unpack_from("<H", blob, pos)
+            pos += 2
+            key = prefix + blob[pos : pos + klen]
+            pos += klen
+            (msn,) = struct.unpack_from("<q", blob, pos)
+            pos += 8
+            tag, page_idx = struct.unpack_from("<Bi", blob, pos)
+            pos += 5
+            (vlen,) = struct.unpack_from("<I", blob, pos)
+            pos += 4
+            inline = b""
+            if tag == _TAG_BYTES:
+                inline = blob[pos : pos + vlen]
+                pos += vlen
+            entries.append((key, msn, tag, page_idx, vlen, inline))
+        # Page slots are laid out sequentially (aligned) in index order.
+        slot_offsets: List[int] = []
+        cursor = page_area_start
+        sizes = [e[4] for e in entries if e[2] == _TAG_PAGE]
+        for size in sizes:
+            slot_offsets.append(cursor)
+            cursor = _align(cursor + size, PAGE_ALIGN)
+        for key, msn, tag, page_idx, vlen, inline in entries:
+            if tag == _TAG_PAGE:
+                off = slot_offsets[page_idx]
+                frame = PageFrame(blob[off : off + vlen])
+                basement.set(key, frame, msn)
+            else:
+                basement.set(key, inline, msn)
+        return basement
+    (count,) = struct.unpack_from("<i", blob, 0)
+    pos = 4
+    for _ in range(count):
+        (klen,) = struct.unpack_from("<H", blob, pos)
+        pos += 2
+        key = prefix + blob[pos : pos + klen]
+        pos += klen
+        (msn,) = struct.unpack_from("<q", blob, pos)
+        pos += 8
+        tag, vlen = struct.unpack_from("<BI", blob, pos)
+        pos += 5
+        raw = blob[pos : pos + vlen]
+        pos += vlen
+        if tag == _TAG_PAGE:
+            basement.set(key, PageFrame(raw), msn)
+        else:
+            basement.set(key, raw, msn)
+    return basement
+
+
+def decode_leaf(data: bytes, aligned: bool, verify: bool = True) -> LeafNode:
+    if verify:
+        verify_crc(data)
+    header = decode_leaf_header(data, aligned)
+    leaf = LeafNode(header.node_id)
+    leaf.basements = []
+    for off, ln in header.basement_extents:
+        blob = data[off : off + ln]
+        leaf.basements.append(decode_basement(blob, header.lift_prefix, aligned))
+    if not leaf.basements:
+        leaf.basements = [BasementNode()]
+    leaf.dirty = False
+    return leaf
+
+
+# ----------------------------------------------------------------------
+# Internal node serialization
+# ----------------------------------------------------------------------
+def serialize_internal(
+    node: InternalNode, aligned: bool, lifting: bool
+) -> SerializedNode:
+    keys: List[bytes] = list(node.pivots)
+    for msg in node.buffer:
+        if isinstance(msg, RangeDelete):
+            keys.append(msg.start)
+            keys.append(msg.end)
+        else:
+            keys.append(msg.key)  # type: ignore[attr-defined]
+    prefix = common_prefix_of(keys) if lifting else b""
+    lift = len(prefix)
+
+    out: List[bytes] = [
+        MAGIC_INTERNAL,
+        struct.pack(
+            "<qiiiH",
+            node.node_id,
+            node.height,
+            len(node.children),
+            len(node.buffer),
+            lift,
+        ),
+        prefix,
+    ]
+    small = 4 + 22 + lift
+    for child in node.children:
+        out.append(struct.pack("<q", child))
+        small += 8
+    for pivot in node.pivots:
+        small += _pack_key(out, pivot, lift)
+
+    copied = 0
+    ref = 0
+    pages: List[bytes] = []
+    for msg in node.buffer:
+        out.append(struct.pack("<Bq", _MSG_TAGS[msg.kind], msg.msn))
+        small += 9
+        if isinstance(msg, RangeDelete):
+            small += _pack_key(out, msg.start, lift)
+            small += _pack_key(out, msg.end, lift)
+        elif isinstance(msg, Insert):
+            small += _pack_key(out, msg.key, lift)
+            if aligned:
+                if isinstance(msg.value, PageFrame):
+                    out.append(struct.pack("<Bi", _TAG_PAGE, len(pages)))
+                    out.append(struct.pack("<I", len(msg.value.data)))
+                    small += 9
+                    pages.append(msg.value.data)
+                else:
+                    out.append(struct.pack("<Bi", _TAG_BYTES, -1))
+                    out.append(struct.pack("<I", len(msg.value)))
+                    out.append(msg.value)
+                    small += 9 + len(msg.value)
+            else:
+                s, c = _pack_value(out, msg.value)
+                small += s
+                copied += c
+        elif isinstance(msg, InsertByRef):
+            small += _pack_key(out, msg.key, lift)
+            if aligned:
+                out.append(struct.pack("<Bi", _TAG_PAGE, len(pages)))
+                out.append(struct.pack("<I", len(msg.frame.data)))
+                small += 9
+                pages.append(msg.frame.data)
+            else:
+                out.append(struct.pack("<BI", _TAG_PAGE, len(msg.frame.data)))
+                out.append(msg.frame.data)
+                small += 5
+                copied += len(msg.frame.data)
+        elif isinstance(msg, Delete):
+            small += _pack_key(out, msg.key, lift)
+        elif isinstance(msg, Patch):
+            small += _pack_key(out, msg.key, lift)
+            out.append(struct.pack("<II", msg.offset, len(msg.data)))
+            out.append(msg.data)
+            small += 8 + len(msg.data)
+        else:  # pragma: no cover - defensive
+            raise TypeError(f"cannot serialize {msg!r}")
+
+    front = b"".join(out)
+    if aligned and pages:
+        page_area_start = _align(len(front) + 4, PAGE_ALIGN)
+        parts = [struct.pack("<i", page_area_start), front]
+        parts.append(b"\x00" * (page_area_start - len(front) - 4))
+        pos = page_area_start
+        for data in pages:
+            parts.append(data)
+            pos += len(data)
+            ref += len(data)
+            pad = _align(pos, PAGE_ALIGN) - pos
+            if pad:
+                parts.append(b"\x00" * pad)
+                pos += pad
+        payload = b"".join(parts)
+    else:
+        payload = struct.pack("<i", 0) + front
+    crc = struct.pack("<I", zlib.crc32(payload) & 0xFFFFFFFF)
+    return SerializedNode(
+        data=payload + crc,
+        small_bytes=small,
+        copied_bytes=copied,
+        ref_bytes=ref,
+    )
+
+
+def decode_internal(data: bytes, aligned: bool, verify: bool = True) -> InternalNode:
+    if verify:
+        verify_crc(data)
+    (page_area_start,) = struct.unpack_from("<i", data, 0)
+    base = 4
+    if data[base : base + 4] != MAGIC_INTERNAL:
+        raise ValueError("bad internal magic")
+    node_id, height, n_children, n_msgs, lift = struct.unpack_from(
+        "<qiiiH", data, base + 4
+    )
+    pos = base + 4 + 22
+    prefix = data[pos : pos + lift]
+    pos += lift
+    node = InternalNode(node_id, height)
+    for _ in range(n_children):
+        (child,) = struct.unpack_from("<q", data, pos)
+        pos += 8
+        node.children.append(child)
+
+    def read_key() -> bytes:
+        nonlocal pos
+        (klen,) = struct.unpack_from("<H", data, pos)
+        pos += 2
+        key = prefix + data[pos : pos + klen]
+        pos += klen
+        return key
+
+    for _ in range(n_children - 1):
+        node.pivots.append(read_key())
+
+    # Pre-compute aligned page slot offsets.
+    msgs: List[Message] = []
+    deferred_pages: List[Tuple[int, int, int]] = []  # (msg_idx, page_idx, vlen)
+    for _ in range(n_msgs):
+        tag, msn = struct.unpack_from("<Bq", data, pos)
+        pos += 9
+        if tag == _MSG_TAGS["range_delete"]:
+            start = read_key()
+            end = read_key()
+            msgs.append(RangeDelete(start, end, msn))
+        elif tag in (_MSG_TAGS["insert"], _MSG_TAGS["insert_by_ref"]):
+            key = read_key()
+            if aligned:
+                vtag, page_idx = struct.unpack_from("<Bi", data, pos)
+                pos += 5
+                (vlen,) = struct.unpack_from("<I", data, pos)
+                pos += 4
+                if vtag == _TAG_PAGE and page_idx >= 0:
+                    msgs.append(Insert(key, b"", msn))  # placeholder
+                    deferred_pages.append((len(msgs) - 1, page_idx, vlen))
+                else:
+                    inline = data[pos : pos + vlen]
+                    pos += vlen
+                    msgs.append(Insert(key, inline, msn))
+            else:
+                vtag, vlen = struct.unpack_from("<BI", data, pos)
+                pos += 5
+                raw = data[pos : pos + vlen]
+                pos += vlen
+                value: Value = PageFrame(raw) if vtag == _TAG_PAGE else raw
+                msgs.append(Insert(key, value, msn))
+        elif tag == _MSG_TAGS["delete"]:
+            msgs.append(Delete(read_key(), msn))
+        elif tag == _MSG_TAGS["patch"]:
+            key = read_key()
+            offset, dlen = struct.unpack_from("<II", data, pos)
+            pos += 8
+            pdata = data[pos : pos + dlen]
+            pos += dlen
+            msgs.append(Patch(key, offset, pdata, msn))
+        else:  # pragma: no cover - defensive
+            raise ValueError(f"bad message tag {tag}")
+
+    if deferred_pages:
+        sizes = [vlen for _, _, vlen in sorted(deferred_pages, key=lambda t: t[1])]
+        slot_offsets: List[int] = []
+        cursor = page_area_start
+        for size in sizes:
+            slot_offsets.append(cursor)
+            cursor = _align(cursor + size, PAGE_ALIGN)
+        for msg_idx, page_idx, vlen in deferred_pages:
+            off = slot_offsets[page_idx]
+            old = msgs[msg_idx]
+            msgs[msg_idx] = Insert(
+                old.key,  # type: ignore[attr-defined]
+                PageFrame(data[off : off + vlen]),
+                old.msn,
+            )
+
+    node.set_buffer(msgs)
+    node.msn_max = max((m.msn for m in msgs), default=0)
+    node.dirty = False
+    return node
+
+
+# ----------------------------------------------------------------------
+def serialize_node(node: Node, aligned: bool, lifting: bool) -> SerializedNode:
+    if isinstance(node, LeafNode):
+        return serialize_leaf(node, aligned, lifting)
+    assert isinstance(node, InternalNode)
+    return serialize_internal(node, aligned, lifting)
+
+
+def decode_node(data: bytes, aligned: bool, verify: bool = True) -> Node:
+    if data[:4] == MAGIC_LEAF:
+        return decode_leaf(data, aligned, verify)
+    # Internal nodes start with the page-area offset word.
+    return decode_internal(data, aligned, verify)
+
+
+class ChecksumError(Exception):
+    """Raised when a node or log entry fails its CRC check."""
+
+
+def verify_crc(data: bytes) -> None:
+    payload, crc = data[:-4], data[-4:]
+    if struct.unpack("<I", crc)[0] != (zlib.crc32(payload) & 0xFFFFFFFF):
+        raise ChecksumError("node checksum mismatch")

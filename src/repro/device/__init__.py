@@ -1,0 +1,7 @@
+"""Simulated block devices and the simulation clock."""
+
+from repro.device.clock import SimClock
+from repro.device.stats import IOStats
+from repro.device.block import BlockDevice, Completion, ExtentStore
+
+__all__ = ["SimClock", "IOStats", "BlockDevice", "Completion", "ExtentStore"]

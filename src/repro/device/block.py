@@ -1,0 +1,305 @@
+"""The simulated block device.
+
+The device stores real bytes (so crash-consistency tests can reboot the
+stack from device contents alone) and charges simulated time per I/O
+according to a :class:`~repro.model.profiles.DeviceProfile`.
+
+Asynchrony model
+----------------
+
+The device maintains its own ``busy_until`` horizon.  An I/O submitted
+at simulated time *t* occupies the device from ``max(t, busy_until)``
+for its duration.  Synchronous callers immediately wait for completion;
+asynchronous callers receive a :class:`Completion` and only pay the
+remaining time when they :meth:`BlockDevice.wait`.  This is what
+lets read-ahead and write-back overlap with CPU work, the effect behind
+several of the paper's optimizations.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Dict, List, Optional, Tuple
+
+from repro.device.clock import SimClock
+from repro.device.stats import IOStats
+from repro.model.profiles import DeviceProfile
+
+
+class Completion:
+    """Handle for an in-flight asynchronous I/O."""
+
+    __slots__ = ("done_at", "data", "write")
+
+    def __init__(self, done_at: float, data: Optional[bytes], write: bool) -> None:
+        self.done_at = done_at
+        self.data = data
+        self.write = write
+
+    def ready(self, now: float) -> bool:
+        return now >= self.done_at
+
+
+class ExtentStore:
+    """Byte-addressable sparse storage backing a device.
+
+    Data is kept as non-overlapping ``(offset, bytes)`` extents in a
+    sorted list.  Writes split or trim any overlapped extents; reads
+    assemble from covering extents, filling holes with zero bytes.
+    """
+
+    def __init__(self) -> None:
+        self._offsets: List[int] = []  # sorted extent start offsets
+        self._extents: Dict[int, bytes] = {}
+
+    def write(self, offset: int, data: bytes) -> None:
+        if not data:
+            return
+        end = offset + len(data)
+        self._punch(offset, end)
+        idx = bisect.bisect_left(self._offsets, offset)
+        self._offsets.insert(idx, offset)
+        self._extents[offset] = bytes(data)
+
+    def _punch(self, start: int, end: int) -> None:
+        """Remove/trim any stored extents overlapping [start, end)."""
+        # Find the first extent that could overlap: the one before start.
+        idx = bisect.bisect_right(self._offsets, start) - 1
+        if idx < 0:
+            idx = 0
+        while idx < len(self._offsets):
+            off = self._offsets[idx]
+            if off >= end:
+                break
+            data = self._extents[off]
+            ext_end = off + len(data)
+            if ext_end <= start:
+                idx += 1
+                continue
+            # Overlap: remove, then re-add any surviving head/tail.
+            del self._offsets[idx]
+            del self._extents[off]
+            if off < start:
+                head = data[: start - off]
+                self._offsets.insert(idx, off)
+                self._extents[off] = head
+                idx += 1
+            if ext_end > end:
+                tail = data[end - off :]
+                j = bisect.bisect_left(self._offsets, end)
+                self._offsets.insert(j, end)
+                self._extents[end] = tail
+                idx = j + 1
+
+    def read(self, offset: int, length: int) -> bytes:
+        if length <= 0:
+            return b""
+        end = offset + length
+        pieces: List[bytes] = []
+        pos = offset
+        idx = bisect.bisect_right(self._offsets, offset) - 1
+        if idx < 0:
+            idx = 0
+        while pos < end and idx < len(self._offsets):
+            off = self._offsets[idx]
+            data = self._extents[off]
+            ext_end = off + len(data)
+            if ext_end <= pos:
+                idx += 1
+                continue
+            if off >= end:
+                break
+            if off > pos:
+                pieces.append(b"\x00" * (off - pos))
+                pos = off
+            take_start = pos - off
+            take_end = min(ext_end, end) - off
+            pieces.append(data[take_start:take_end])
+            pos = off + take_end
+            idx += 1
+        if pos < end:
+            pieces.append(b"\x00" * (end - pos))
+        return b"".join(pieces)
+
+    def discard(self, offset: int, length: int) -> None:
+        """TRIM a byte range."""
+        self._punch(offset, offset + length)
+
+    def stored_bytes(self) -> int:
+        return sum(len(d) for d in self._extents.values())
+
+    def extent_count(self) -> int:
+        return len(self._offsets)
+
+
+class BlockDevice:
+    """A simulated block device with a performance profile.
+
+    All offsets/lengths are bytes; I/O is rounded up to the profile's
+    sector size for timing and accounting purposes (stored data is kept
+    byte-exact for simplicity).
+    """
+
+    def __init__(
+        self,
+        clock: SimClock,
+        profile: DeviceProfile,
+        charge_time: bool = True,
+    ) -> None:
+        self.clock = clock
+        self.profile = profile
+        self.stats = IOStats()
+        self.store = ExtentStore()
+        #: Device timeline: the device is busy until this instant.
+        self.busy_until = 0.0
+        #: Tails of recent sequential streams (SSDs and the kernel both
+        #: detect several concurrent sequential streams, e.g. a log and
+        #: a node file being appended simultaneously).
+        self._read_streams: List[int] = []
+        self._write_streams: List[int] = []
+        #: Bytes written since the write cache was last able to drain.
+        self._cache_fill = 0.0
+        self._cache_fill_at = 0.0
+        #: Once the cache saturates mid-stream, writes stay at the
+        #: sustained rate until the device has been idle long enough
+        #: for internal garbage collection (hysteresis).
+        self._cache_saturated = False
+        self.charge_time = charge_time
+
+    #: Idle seconds after which a saturated write cache recovers.
+    CACHE_RECOVERY_IDLE = 0.5
+
+    # ------------------------------------------------------------------
+    # Internal timing
+    # ------------------------------------------------------------------
+    def _round(self, nbytes: int) -> int:
+        sector = self.profile.sector
+        return ((max(nbytes, 1) + sector - 1) // sector) * sector
+
+    def _drain_cache(self) -> None:
+        """Let the internal write cache drain at the sustained rate."""
+        if self.profile.write_cache <= 0:
+            return
+        elapsed = self.clock.now - self._cache_fill_at
+        if elapsed > 0:
+            self._cache_fill = max(
+                0.0, self._cache_fill - elapsed * self.profile.sustained_write_bw
+            )
+            if elapsed >= self.CACHE_RECOVERY_IDLE:
+                self._cache_saturated = False
+        self._cache_fill_at = self.clock.now
+
+    def _io_duration(self, nbytes: int, write: bool, sequential: bool) -> float:
+        p = self.profile
+        # Sequential continuations are merged by the block layer into
+        # the preceding request (bio merging); only stream starts and
+        # random I/O pay per-command overhead.
+        dur = 0.0 if sequential else p.cmd_overhead
+        if write:
+            self._drain_cache()
+            if p.write_cache > 0 and self._cache_fill + nbytes > p.write_cache:
+                self._cache_saturated = True
+            self._cache_fill += nbytes
+            dur += p.transfer_time(nbytes, True, self._cache_saturated)
+            if not sequential:
+                dur += p.rand_write_lat
+        else:
+            dur += p.transfer_time(nbytes, False, False)
+            if not sequential:
+                dur += p.rand_read_lat
+        return dur
+
+    def _schedule(self, duration: float) -> float:
+        """Occupy the device for ``duration``; return completion time."""
+        start = max(self.busy_until, self.clock.now)
+        self.busy_until = start + duration
+        return self.busy_until
+
+    # ------------------------------------------------------------------
+    # Public I/O API
+    # ------------------------------------------------------------------
+    MAX_STREAMS = 8
+    #: An I/O starting within this distance after a stream's tail still
+    #: counts as sequential (FTLs tolerate small alignment gaps).
+    STREAM_SLACK = 8 * 1024
+
+    def _note_stream(self, streams: List[int], offset: int, end: int) -> bool:
+        """Track up to MAX_STREAMS sequential streams; returns whether
+        this I/O continues one of them."""
+        for i, tail in enumerate(streams):
+            if 0 <= offset - tail <= self.STREAM_SLACK:
+                del streams[i]
+                streams.append(end)
+                return True
+        streams.append(end)
+        if len(streams) > self.MAX_STREAMS:
+            streams.pop(0)
+        return False
+
+    def submit_read(self, offset: int, length: int) -> Completion:
+        """Start an asynchronous read; data is available on wait()."""
+        nbytes = self._round(length)
+        sequential = self._note_stream(self._read_streams, offset, offset + length)
+        dur = self._io_duration(nbytes, write=False, sequential=sequential)
+        done = self._schedule(dur) if self.charge_time else self.clock.now
+        self.stats.record(False, nbytes, sequential, dur)
+        data = self.store.read(offset, length)
+        return Completion(done, data, write=False)
+
+    def submit_write(self, offset: int, data: bytes) -> Completion:
+        """Start an asynchronous write (data is durable only after flush)."""
+        nbytes = self._round(len(data))
+        sequential = self._note_stream(
+            self._write_streams, offset, offset + len(data)
+        )
+        dur = self._io_duration(nbytes, write=True, sequential=sequential)
+        done = self._schedule(dur) if self.charge_time else self.clock.now
+        self.stats.record(True, nbytes, sequential, dur)
+        self.store.write(offset, data)
+        return Completion(done, None, write=True)
+
+    def wait(self, completion: Completion) -> Optional[bytes]:
+        """Wait for an async I/O to complete; returns read data."""
+        if self.charge_time:
+            self.clock.wait_until(completion.done_at)
+        return completion.data
+
+    def read(self, offset: int, length: int) -> bytes:
+        """Synchronous read."""
+        completion = self.submit_read(offset, length)
+        data = self.wait(completion)
+        assert data is not None
+        return data
+
+    def write(self, offset: int, data: bytes) -> None:
+        """Synchronous write (returns when the device accepts the I/O)."""
+        completion = self.submit_write(offset, data)
+        self.wait(completion)
+
+    def flush(self) -> None:
+        """Barrier: wait for all outstanding I/O plus a cache flush."""
+        self.stats.flushes += 1
+        if not self.charge_time:
+            return
+        done = self._schedule(self.profile.flush_lat)
+        self.clock.wait_until(done)
+
+    def discard(self, offset: int, length: int) -> None:
+        """TRIM a range (free, used by log-structured baselines)."""
+        self.store.discard(offset, length)
+
+    # ------------------------------------------------------------------
+    # Crash simulation
+    # ------------------------------------------------------------------
+    def crash_image(self) -> "BlockDevice":
+        """Return a new device holding a copy of the persisted bytes.
+
+        The copy shares no mutable state with this device; a stack can
+        be rebooted against it to exercise crash recovery.  (We model
+        the device write cache as durable — the paper's SSD has a
+        non-volatile cache — so everything accepted is in the image.)
+        """
+        twin = BlockDevice(SimClock(), self.profile, charge_time=self.charge_time)
+        for off in list(self.store._offsets):
+            twin.store.write(off, self.store._extents[off])
+        return twin

@@ -1,0 +1,12 @@
+"""Convenience constructors for HDD-profile block devices."""
+
+from __future__ import annotations
+
+from repro.device.block import BlockDevice
+from repro.device.clock import SimClock
+from repro.model.profiles import COMMODITY_HDD, DeviceProfile
+
+
+def make_hdd(clock: SimClock, profile: DeviceProfile = COMMODITY_HDD) -> BlockDevice:
+    """Create a block device modeling the paper's boot HDD."""
+    return BlockDevice(clock, profile)

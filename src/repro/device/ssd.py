@@ -1,0 +1,12 @@
+"""Convenience constructors for SSD-profile block devices."""
+
+from __future__ import annotations
+
+from repro.device.block import BlockDevice
+from repro.device.clock import SimClock
+from repro.model.profiles import COMMODITY_SSD, DeviceProfile
+
+
+def make_ssd(clock: SimClock, profile: DeviceProfile = COMMODITY_SSD) -> BlockDevice:
+    """Create a block device modeling the paper's commodity SATA SSD."""
+    return BlockDevice(clock, profile)

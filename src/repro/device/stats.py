@@ -1,0 +1,81 @@
+"""I/O accounting for simulated devices."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class IOStats:
+    """Counters maintained by a :class:`~repro.device.block.BlockDevice`."""
+
+    reads: int = 0
+    writes: int = 0
+    flushes: int = 0
+    bytes_read: int = 0
+    bytes_written: int = 0
+    seq_reads: int = 0
+    seq_writes: int = 0
+    rand_reads: int = 0
+    rand_writes: int = 0
+    #: Seconds the device spent busy (transfer + latency).
+    busy_time: float = 0.0
+    #: Histogram of write sizes, bucketed by power of two.
+    write_size_hist: dict = field(default_factory=dict)
+    read_size_hist: dict = field(default_factory=dict)
+
+    def record(self, write: bool, nbytes: int, sequential: bool, duration: float) -> None:
+        bucket = 1
+        while bucket < nbytes:
+            bucket <<= 1
+        if write:
+            self.writes += 1
+            self.bytes_written += nbytes
+            if sequential:
+                self.seq_writes += 1
+            else:
+                self.rand_writes += 1
+            self.write_size_hist[bucket] = self.write_size_hist.get(bucket, 0) + 1
+        else:
+            self.reads += 1
+            self.bytes_read += nbytes
+            if sequential:
+                self.seq_reads += 1
+            else:
+                self.rand_reads += 1
+            self.read_size_hist[bucket] = self.read_size_hist.get(bucket, 0) + 1
+        self.busy_time += duration
+
+    def snapshot(self) -> "IOStats":
+        """A copy of the counters (for before/after comparisons)."""
+        snap = IOStats(
+            reads=self.reads,
+            writes=self.writes,
+            flushes=self.flushes,
+            bytes_read=self.bytes_read,
+            bytes_written=self.bytes_written,
+            seq_reads=self.seq_reads,
+            seq_writes=self.seq_writes,
+            rand_reads=self.rand_reads,
+            rand_writes=self.rand_writes,
+            busy_time=self.busy_time,
+        )
+        snap.write_size_hist = dict(self.write_size_hist)
+        snap.read_size_hist = dict(self.read_size_hist)
+        return snap
+
+    def delta(self, earlier: "IOStats") -> "IOStats":
+        """Counters accumulated since ``earlier`` (a snapshot)."""
+        out = IOStats(
+            reads=self.reads - earlier.reads,
+            writes=self.writes - earlier.writes,
+            flushes=self.flushes - earlier.flushes,
+            bytes_read=self.bytes_read - earlier.bytes_read,
+            bytes_written=self.bytes_written - earlier.bytes_written,
+            seq_reads=self.seq_reads - earlier.seq_reads,
+            seq_writes=self.seq_writes - earlier.seq_writes,
+            rand_reads=self.rand_reads - earlier.rand_reads,
+            rand_writes=self.rand_writes - earlier.rand_writes,
+            busy_time=self.busy_time - earlier.busy_time,
+        )
+        return out

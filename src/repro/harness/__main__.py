@@ -1,0 +1,104 @@
+"""CLI: regenerate the paper's tables and figures.
+
+Examples::
+
+    python -m repro.harness table3
+    python -m repro.harness fig2 --figures fig2c fig2d
+    python -m repro.harness all --out results/
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+
+from repro.harness.figures import FIGURES, render_figures, run_figures
+from repro.harness.paperdata import PAPER_TABLE3
+from repro.harness.report import render_experiments_md, write_results_json
+from repro.harness.runner import (
+    FIG2_SYSTEMS,
+    TABLE1_SYSTEMS,
+    TABLE3_SYSTEMS,
+    run_hdd_context,
+    run_microbenches,
+)
+from repro.harness.tables import render_vs_paper
+from repro.workloads.scale import DEFAULT_SCALE, SMOKE_SCALE
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.harness",
+        description="Reproduce the evaluation of BetrFS v0.6 (EuroSys '22)",
+    )
+    parser.add_argument(
+        "target",
+        choices=["table1", "table3", "fig2", "hdd", "all"],
+        help="which artifact to regenerate (hdd = the prior-work "
+        "'compleat on an HDD' context for BetrFS v0.4)",
+    )
+    parser.add_argument(
+        "--scale",
+        choices=["default", "smoke"],
+        default="default",
+        help="workload scale (smoke is for quick checks)",
+    )
+    parser.add_argument(
+        "--figures",
+        nargs="*",
+        choices=sorted(FIGURES),
+        help="subset of figures for the fig2 target",
+    )
+    parser.add_argument(
+        "--systems", nargs="*", help="subset of file systems to run"
+    )
+    parser.add_argument(
+        "--out", default=None, help="directory for results JSON / EXPERIMENTS.md"
+    )
+    parser.add_argument("--quiet", action="store_true")
+    args = parser.parse_args(argv)
+
+    scale = DEFAULT_SCALE if args.scale == "default" else SMOKE_SCALE
+    verbose = not args.quiet
+    t0 = time.time()
+    tables = {}
+    figures = {}
+
+    if args.target in ("table1", "table3", "all"):
+        systems = args.systems or (
+            TABLE1_SYSTEMS if args.target == "table1" else TABLE3_SYSTEMS
+        )
+        tables = run_microbenches(systems, scale, verbose=verbose)
+        print(render_vs_paper(tables, list(tables), f"{args.target}: measured (paper)"))
+    if args.target == "hdd":
+        rows = run_hdd_context(systems=args.systems, scale=scale, verbose=verbose)
+        print(
+            render_vs_paper(
+                rows, list(rows), "HDD context: measured (paper SSD values for reference)"
+            )
+        )
+        tables = rows
+    if args.target in ("fig2", "all"):
+        figures = run_figures(
+            figures=args.figures, systems=args.systems, scale=scale, verbose=verbose
+        )
+        print(render_figures(figures))
+
+    if args.out:
+        os.makedirs(args.out, exist_ok=True)
+        write_results_json(
+            os.path.join(args.out, "results.json"), tables, figures
+        )
+        if args.target == "all":
+            with open(os.path.join(args.out, "EXPERIMENTS.md"), "w") as fh:
+                fh.write(render_experiments_md(tables, figures, scale.name))
+        print(f"results written to {args.out}/")
+    print(f"total wall time: {time.time() - t0:.1f}s", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

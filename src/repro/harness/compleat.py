@@ -1,0 +1,65 @@
+"""The paper's "compleat" classification (§1).
+
+Given a column of results across file systems, each cell is GREEN if
+it is within 15% of the best, RED if it achieves less than 30% of the
+best throughput (or more than 3.33x the best latency), and plain
+otherwise.  A *compleat* file system has no red cells and mostly green
+ones.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import Dict, Optional
+
+
+class Classification(Enum):
+    GREEN = "green"
+    PLAIN = "plain"
+    RED = "red"
+
+
+def classify(
+    value: Optional[float], best: float, higher_is_better: bool
+) -> Classification:
+    """Classify one cell against the column's best value."""
+    if value is None or best <= 0:
+        return Classification.PLAIN
+    if higher_is_better:
+        if value >= best * 0.85:
+            return Classification.GREEN
+        if value < best * 0.30:
+            return Classification.RED
+    else:
+        if value <= best * 1.15:
+            return Classification.GREEN
+        if value > best * 3.3333:
+            return Classification.RED
+    return Classification.PLAIN
+
+
+def column_best(
+    column: Dict[str, Optional[float]], higher_is_better: bool
+) -> float:
+    values = [v for v in column.values() if v is not None]
+    if not values:
+        return 0.0
+    return max(values) if higher_is_better else min(values)
+
+
+def is_compleat(
+    rows: Dict[str, Dict[str, float]],
+    system: str,
+    higher_cols: set,
+) -> bool:
+    """True if ``system`` has no red cell across all columns."""
+    columns = set()
+    for metrics in rows.values():
+        columns.update(metrics)
+    for col in columns:
+        column = {name: metrics.get(col) for name, metrics in rows.items()}
+        hib = col in higher_cols
+        best = column_best(column, hib)
+        if classify(column.get(system), best, hib) is Classification.RED:
+            return False
+    return True

@@ -1,0 +1,128 @@
+"""Application benchmarks: Figures 2a-2h."""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.harness.runner import FIG2_SYSTEMS, make_mount
+from repro.workloads.archive import tar_tree, untar_tree
+from repro.workloads.filebench import (
+    filebench_fileserver,
+    filebench_oltp,
+    filebench_webproxy,
+    filebench_webserver,
+)
+from repro.workloads.gitops import git_clone, git_diff, setup_git_repo
+from repro.workloads.mailserver import mailserver
+from repro.workloads.rsync import rsync_copy
+from repro.workloads.scale import DEFAULT_SCALE, WorkloadScale
+from repro.workloads.trees import build_tree, linux_like_tree
+
+MIB = 1 << 20
+
+
+def fig2a_tar(name: str, scale: WorkloadScale) -> Dict[str, float]:
+    """Figure 2a: tar and untar latency (seconds)."""
+    mount = make_mount(name, scale)
+    spec = linux_like_tree("/src", scale.tree_files, scale.tree_bytes)
+    untar = untar_tree(mount, spec)
+    tar = tar_tree(mount, spec)
+    return {"tar": tar, "untar": untar}
+
+
+def fig2b_git(name: str, scale: WorkloadScale) -> Dict[str, float]:
+    """Figure 2b: git clone and git diff latency (seconds)."""
+    mount = make_mount(name, scale)
+    spec = linux_like_tree("/repo", scale.tree_files, scale.tree_bytes)
+    pack = scale.tree_bytes // 2
+    setup_git_repo(mount, spec, pack)
+    clone = git_clone(mount, spec, pack, "/clone")
+    diff = git_diff(mount, spec, pack)
+    return {"clone": clone, "diff": diff}
+
+
+def fig2c_rsync(name: str, scale: WorkloadScale) -> Dict[str, float]:
+    """Figure 2c: rsync bandwidth, fresh and --in-place (MB/s)."""
+    mount = make_mount(name, scale)
+    spec = linux_like_tree("/src", scale.tree_files, scale.tree_bytes)
+    build_tree(mount, spec)
+    fresh = rsync_copy(mount, spec, "/dst", in_place=False)
+    mount2 = make_mount(name, scale)
+    build_tree(mount2, spec)
+    in_place = rsync_copy(mount2, spec, "/dst", in_place=True)
+    return {"rsync": fresh, "rsync_in_place": in_place}
+
+
+def fig2d_mailserver(name: str, scale: WorkloadScale) -> Dict[str, float]:
+    """Figure 2d: Dovecot-style mailserver throughput (op/s)."""
+    mount = make_mount(name, scale)
+    return {"mailserver": mailserver(mount, scale)}
+
+
+def fig2e_oltp(name: str, scale: WorkloadScale) -> Dict[str, float]:
+    return {"oltp": filebench_oltp(make_mount(name, scale), scale)}
+
+
+def fig2f_fileserver(name: str, scale: WorkloadScale) -> Dict[str, Optional[float]]:
+    if name == "BetrFS v0.4":
+        # The paper: "BetrFS v0.4 crashes on FileServer".
+        return {"fileserver": None}
+    return {"fileserver": filebench_fileserver(make_mount(name, scale), scale)}
+
+
+def fig2g_webserver(name: str, scale: WorkloadScale) -> Dict[str, float]:
+    return {"webserver": filebench_webserver(make_mount(name, scale), scale)}
+
+
+def fig2h_webproxy(name: str, scale: WorkloadScale) -> Dict[str, float]:
+    return {"webproxy": filebench_webproxy(make_mount(name, scale), scale)}
+
+
+FIGURES = {
+    "fig2a": fig2a_tar,
+    "fig2b": fig2b_git,
+    "fig2c": fig2c_rsync,
+    "fig2d": fig2d_mailserver,
+    "fig2e": fig2e_oltp,
+    "fig2f": fig2f_fileserver,
+    "fig2g": fig2g_webserver,
+    "fig2h": fig2h_webproxy,
+}
+
+
+def run_figures(
+    figures=None,
+    systems=None,
+    scale: WorkloadScale = DEFAULT_SCALE,
+    verbose: bool = False,
+) -> Dict[str, Dict[str, Dict[str, Optional[float]]]]:
+    """Run the selected figures; returns {figure: {system: {metric: v}}}."""
+    out: Dict[str, Dict[str, Dict[str, Optional[float]]]] = {}
+    for fig, fn in FIGURES.items():
+        if figures is not None and fig not in figures:
+            continue
+        out[fig] = {}
+        for system in systems or FIG2_SYSTEMS:
+            out[fig][system] = fn(system, scale)
+            if verbose:
+                print(f"  {fig} {system:12s} {out[fig][system]}", flush=True)
+    return out
+
+
+def render_figures(results) -> str:
+    """ASCII rendering of the figure series."""
+    lines = []
+    for fig, rows in results.items():
+        metrics = sorted({m for r in rows.values() for m in r})
+        lines.append(f"{fig}")
+        lines.append("-" * len(fig))
+        header = f"{'System':14s}" + "".join(f"{m:>18s}" for m in metrics)
+        lines.append(header)
+        for system, vals in rows.items():
+            cells = []
+            for m in metrics:
+                v = vals.get(m)
+                cells.append(f"{v:>18.2f}" if v is not None else f"{'crash':>18s}")
+            lines.append(f"{system:14s}" + "".join(cells))
+        lines.append("")
+    return "\n".join(lines)

@@ -1,0 +1,50 @@
+"""The paper's published numbers, for side-by-side reporting.
+
+Source: Table 3 and Figure 2 of "BetrFS: A Compleat File System for
+Commodity SSDs" (EuroSys '22).  Throughputs in MB/s, latencies in
+seconds, TokuBench in Kop/s.
+"""
+
+from __future__ import annotations
+
+#: Table 3 (which contains Table 1's rows).  Columns:
+#: seq_read, seq_write (MB/s), rand_4k, rand_4b (MB/s),
+#: tokubench (Kop/s), grep, rm, find (seconds).
+PAPER_TABLE3 = {
+    "ext4":        {"seq_read": 534, "seq_write": 316, "rand_4k": 16, "rand_4b": 0.026, "tokubench": 13.6, "grep": 10.15, "rm": 1.81, "find": 0.86},
+    "btrfs":       {"seq_read": 568, "seq_write": 328, "rand_4k": 13, "rand_4b": 0.024, "tokubench": 6.0,  "grep": 4.61,  "rm": 2.53, "find": 0.78},
+    "xfs":         {"seq_read": 531, "seq_write": 315, "rand_4k": 19, "rand_4b": 0.027, "tokubench": 4.5,  "grep": 6.09,  "rm": 2.74, "find": 0.84},
+    "f2fs":        {"seq_read": 528, "seq_write": 320, "rand_4k": 16, "rand_4b": 0.033, "tokubench": 4.7,  "grep": 4.72,  "rm": 2.36, "find": 0.83},
+    "zfs":         {"seq_read": 551, "seq_write": 304, "rand_4k": 8,  "rand_4b": 0.008, "tokubench": 12.5, "grep": 1.25,  "rm": 3.31, "find": 0.43},
+    "BetrFS v0.4": {"seq_read": 181, "seq_write": 55,  "rand_4k": 92, "rand_4b": 0.269, "tokubench": 4.0,  "grep": 2.46,  "rm": 51.41, "find": 0.27},
+    "+SFL":        {"seq_read": 462, "seq_write": 222, "rand_4k": 96, "rand_4b": 0.262, "tokubench": 5.4,  "grep": 1.44,  "rm": 44.71, "find": 0.19},
+    "+RG":         {"seq_read": 462, "seq_write": 226, "rand_4k": 97, "rand_4b": 0.274, "tokubench": 5.3,  "grep": 1.44,  "rm": 5.02,  "find": 0.21},
+    "+MLC":        {"seq_read": 463, "seq_write": 226, "rand_4k": 115, "rand_4b": 0.352, "tokubench": 8.3, "grep": 1.44,  "rm": 4.21,  "find": 0.24},
+    "+PGSH":       {"seq_read": 497, "seq_write": 310, "rand_4k": 118, "rand_4b": 0.360, "tokubench": 7.7, "grep": 1.46,  "rm": 3.41,  "find": 0.20},
+    "+DC":         {"seq_read": 496, "seq_write": 312, "rand_4k": 116, "rand_4b": 0.358, "tokubench": 7.8, "grep": 1.33,  "rm": 2.30,  "find": 0.20},
+    "+CL":         {"seq_read": 497, "seq_write": 306, "rand_4k": 118, "rand_4b": 0.364, "tokubench": 11.7, "grep": 1.42, "rm": 2.56,  "find": 0.22},
+    "+QRY":        {"seq_read": 497, "seq_write": 310, "rand_4k": 116, "rand_4b": 0.363, "tokubench": 11.8, "grep": 1.36, "rm": 1.57,  "find": 0.22},
+}
+PAPER_TABLE3["BetrFS v0.6"] = PAPER_TABLE3["+QRY"]
+
+#: Columns where a larger number is better.
+HIGHER_IS_BETTER = {"seq_read", "seq_write", "rand_4k", "rand_4b", "tokubench"}
+
+#: Metric kinds per column (for table rendering).
+COLUMNS = ["seq_read", "seq_write", "rand_4k", "rand_4b", "tokubench", "grep", "rm", "find"]
+
+#: Figure 2 values eyeballed from the paper's charts (approximate, the
+#: paper publishes these only graphically).  Units per figure.
+PAPER_FIG2 = {
+    "fig2a_tar":    {"unit": "s", "ext4": 5.1, "btrfs": 6.0, "xfs": 5.8, "f2fs": 5.5, "zfs": 7.5, "BetrFS v0.4": 10.5, "BetrFS v0.6": 4.8},
+    "fig2a_untar":  {"unit": "s", "ext4": 11.0, "btrfs": 7.5, "xfs": 12.5, "f2fs": 9.0, "zfs": 14.0, "BetrFS v0.4": 13.0, "BetrFS v0.6": 8.0},
+    "fig2b_clone":  {"unit": "s", "ext4": 38, "btrfs": 40, "xfs": 42, "f2fs": 40, "zfs": 45, "BetrFS v0.4": 55, "BetrFS v0.6": 38},
+    "fig2b_diff":   {"unit": "s", "ext4": 10, "btrfs": 12, "xfs": 12, "f2fs": 11, "zfs": 8, "BetrFS v0.4": 6, "BetrFS v0.6": 5},
+    "fig2c_rsync":  {"unit": "MB/s", "ext4": 105, "btrfs": 90, "xfs": 95, "f2fs": 100, "zfs": 70, "BetrFS v0.4": 60, "BetrFS v0.6": 110},
+    "fig2c_rsync_in_place": {"unit": "MB/s", "ext4": 110, "btrfs": 95, "xfs": 100, "f2fs": 105, "zfs": 75, "BetrFS v0.4": 110, "BetrFS v0.6": 200},
+    "fig2d_mailserver": {"unit": "op/s", "ext4": 1200, "btrfs": 1100, "xfs": 1300, "f2fs": 1250, "zfs": 700, "BetrFS v0.4": 800, "BetrFS v0.6": 1500},
+    "fig2e_oltp":   {"unit": "Kop/s", "ext4": 38, "btrfs": 30, "xfs": 40, "f2fs": 38, "zfs": 18, "BetrFS v0.4": 22, "BetrFS v0.6": 28},
+    "fig2f_fileserver": {"unit": "Kop/s", "ext4": 180, "btrfs": 150, "xfs": 190, "f2fs": 170, "zfs": 90, "BetrFS v0.4": None, "BetrFS v0.6": 120},
+    "fig2g_webserver":  {"unit": "Mop/s", "ext4": 0.9, "btrfs": 0.85, "xfs": 0.95, "f2fs": 0.9, "zfs": 0.5, "BetrFS v0.4": 0.8, "BetrFS v0.6": 0.95},
+    "fig2h_webproxy":   {"unit": "Kop/s", "ext4": 650, "btrfs": 600, "xfs": 680, "f2fs": 640, "zfs": 350, "BetrFS v0.4": 500, "BetrFS v0.6": 680},
+}

@@ -1,0 +1,78 @@
+"""Rendering of Table 1 and Table 3 (paper vs. measured)."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.harness.compleat import Classification, classify, column_best
+from repro.harness.paperdata import COLUMNS, HIGHER_IS_BETTER, PAPER_TABLE3
+
+_MARK = {
+    Classification.GREEN: "+",
+    Classification.RED: "!",
+    Classification.PLAIN: " ",
+}
+
+_HEADERS = {
+    "seq_read": "SeqRd MB/s",
+    "seq_write": "SeqWr MB/s",
+    "rand_4k": "Rnd4K MB/s",
+    "rand_4b": "Rnd4B MB/s",
+    "tokubench": "Toku Kop/s",
+    "grep": "grep s",
+    "rm": "rm s",
+    "find": "find s",
+}
+
+
+def _fmt(value: Optional[float], col: str) -> str:
+    if value is None:
+        return "-"
+    if col == "rand_4b":
+        return f"{value:.3f}"
+    if col in ("grep", "rm", "find"):
+        return f"{value:.2f}"
+    return f"{value:.0f}" if value >= 10 else f"{value:.1f}"
+
+
+def render_table(
+    rows: Dict[str, Dict[str, float]],
+    systems: List[str],
+    title: str,
+    paper: Optional[Dict[str, Dict[str, float]]] = None,
+) -> str:
+    """ASCII table with the paper's green(+)/red(!) shading.
+
+    If ``paper`` is given, each cell shows ``measured (paper)``.
+    """
+    lines = [title, "=" * len(title)]
+    width = 14 if paper is None else 22
+    header = f"{'System':14s}" + "".join(
+        f"{_HEADERS[c]:>{width}s}" for c in COLUMNS
+    )
+    lines.append(header)
+    lines.append("-" * len(header))
+    bests = {}
+    for col in COLUMNS:
+        column = {s: rows.get(s, {}).get(col) for s in systems}
+        bests[col] = column_best(column, col in HIGHER_IS_BETTER)
+    for system in systems:
+        cells = []
+        for col in COLUMNS:
+            value = rows.get(system, {}).get(col)
+            mark = _MARK[
+                classify(value, bests[col], col in HIGHER_IS_BETTER)
+            ]
+            cell = f"{_fmt(value, col)}{mark}"
+            if paper is not None:
+                ref = paper.get(system, {}).get(col)
+                cell += f" ({_fmt(ref, col)})"
+            cells.append(f"{cell:>{width}s}")
+        lines.append(f"{system:14s}" + "".join(cells))
+    lines.append("")
+    lines.append("+ = within 15% of best   ! = below 30% of best (red in the paper)")
+    return "\n".join(lines)
+
+
+def render_vs_paper(rows: Dict[str, Dict[str, float]], systems: List[str], title: str) -> str:
+    return render_table(rows, systems, title, paper=PAPER_TABLE3)

@@ -1,0 +1,21 @@
+"""Kernel memory-allocation cost model (paper §5).
+
+Models the behaviours the paper identifies as bottlenecks:
+
+* ``kmalloc`` is cheap but only works for small physically-contiguous
+  allocations; large buffers must use ``vmalloc``.
+* ``vmalloc``/``vfree`` edit kernel page tables and broadcast TLB
+  shootdowns; freeing a region whose size is unknown requires an
+  expensive search of the kernel's memory mappings.
+* A user-space-style ``realloc`` (grow-by-doubling) is pathological on
+  top of vmalloc.
+
+The cooperative allocator implements the paper's fixes: size feedback
+from the B-epsilon-tree on free/realloc, a cache of common power-of-two
+buffers, and allocation-time size negotiation (return more than asked).
+"""
+
+from repro.kmem.allocator import Buffer, KernelAllocator
+from repro.kmem.coop import CooperativeAllocator
+
+__all__ = ["Buffer", "KernelAllocator", "CooperativeAllocator"]

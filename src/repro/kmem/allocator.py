@@ -1,0 +1,200 @@
+"""Baseline kernel allocator model (kmalloc + vmalloc semantics)."""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.device.clock import SimClock
+from repro.model.costs import CostModel
+
+#: Largest allocation kmalloc reliably satisfies once the buddy
+#: allocator fragments (the paper: "they quickly fail once physically
+#: contiguous pages ... are exhausted").
+KMALLOC_MAX = 128 * 1024
+
+
+@dataclass
+class Buffer:
+    """Handle for a simulated kernel buffer.
+
+    ``capacity`` may exceed ``size`` (requested length); cooperative
+    allocation deliberately over-provisions so callers can grow in
+    place.
+    """
+
+    buf_id: int
+    size: int
+    capacity: int
+    vmalloced: bool
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        kind = "vmalloc" if self.vmalloced else "kmalloc"
+        return f"Buffer(#{self.buf_id} {kind} {self.size}/{self.capacity})"
+
+
+@dataclass
+class AllocStats:
+    """Counters for allocator behaviour."""
+
+    kmallocs: int = 0
+    vmallocs: int = 0
+    frees: int = 0
+    reallocs: int = 0
+    realloc_copy_bytes: int = 0
+    size_lookups: int = 0
+    cache_hits: int = 0
+    live_bytes: int = 0
+    peak_bytes: int = 0
+    by_class: dict = field(default_factory=dict)
+
+
+class KernelAllocator:
+    """Models Linux kmalloc/vmalloc with BetrFS v0.4's usage patterns.
+
+    This allocator reproduces the *baseline* behaviour (§2.3, "Small
+    Writes and Buffer Resizing"):
+
+    * frees of vmalloc'ed regions pay a mapping search to discover the
+      region size;
+    * ``realloc`` allocates a new region, copies, and frees the old one;
+    * buffer growth proceeds by doubling, so a buffer reaching size *n*
+      has copied ~*n* bytes of intermediate garbage along the way;
+    * one small cache of 32 fixed 128 KiB regions exists (the paper
+      notes baseline BetrFS had exactly this point-fix).
+    """
+
+    #: Baseline point-fix cache: 32 regions of 128 KiB (see §5).
+    BASELINE_CACHE_SIZE = 128 * 1024
+    BASELINE_CACHE_SLOTS = 32
+
+    def __init__(self, clock: SimClock, costs: CostModel) -> None:
+        self.clock = clock
+        self.costs = costs
+        self.stats = AllocStats()
+        self._ids = itertools.count(1)
+        self._cache_free = self.BASELINE_CACHE_SLOTS
+
+    # ------------------------------------------------------------------
+    # Raw allocation primitives
+    # ------------------------------------------------------------------
+    def _track(self, delta: int) -> None:
+        self.stats.live_bytes += delta
+        if self.stats.live_bytes > self.stats.peak_bytes:
+            self.stats.peak_bytes = self.stats.live_bytes
+
+    def _from_cache(self, size: int) -> Optional[Buffer]:
+        if size <= self.BASELINE_CACHE_SIZE and self._cache_free > 0:
+            # Only worth using the 128 KiB cache for largish buffers;
+            # small objects go to kmalloc directly.
+            if size > KMALLOC_MAX // 2:
+                self._cache_free -= 1
+                self.stats.cache_hits += 1
+                self.clock.cpu(self.costs.kmalloc)
+                return Buffer(
+                    next(self._ids), size, self.BASELINE_CACHE_SIZE, vmalloced=True
+                )
+        return None
+
+    def _to_cache(self, buf: Buffer) -> bool:
+        if (
+            buf.vmalloced
+            and buf.capacity == self.BASELINE_CACHE_SIZE
+            and self._cache_free < self.BASELINE_CACHE_SLOTS
+        ):
+            self._cache_free += 1
+            return True
+        return False
+
+    def alloc(self, size: int) -> Buffer:
+        """Allocate ``size`` bytes; picks kmalloc vs vmalloc like klibc."""
+        cached = self._from_cache(size)
+        if cached is not None:
+            self._track(cached.capacity)
+            return cached
+        if size <= KMALLOC_MAX:
+            self.stats.kmallocs += 1
+            self.clock.cpu(self.costs.kmalloc)
+            buf = Buffer(next(self._ids), size, size, vmalloced=False)
+        else:
+            self.stats.vmallocs += 1
+            self.clock.cpu(self.costs.vmalloc(size))
+            buf = Buffer(next(self._ids), size, size, vmalloced=True)
+        self._track(buf.capacity)
+        self._class_count(buf.capacity)
+        return buf
+
+    def free(self, buf: Buffer, size_hint: Optional[int] = None) -> None:
+        """Free a buffer.
+
+        The baseline allocator ignores ``size_hint`` (the interface the
+        cooperative allocator exploits) and pays the vmalloc mapping
+        search when freeing large regions.
+        """
+        self.stats.frees += 1
+        self._track(-buf.capacity)
+        if self._to_cache(buf):
+            self.clock.cpu(self.costs.kmalloc)
+            return
+        if buf.vmalloced:
+            self.stats.size_lookups += 1
+            self.clock.cpu(self.costs.vfree(size_known=False))
+        else:
+            self.clock.cpu(self.costs.kmalloc)
+
+    def realloc(self, buf: Buffer, new_size: int, used: Optional[int] = None) -> Buffer:
+        """Grow (or shrink) a buffer the user-space way: alloc+copy+free.
+
+        ``used`` is the number of live bytes to preserve (defaults to
+        the whole old buffer, which is what the ported TokuDB code did).
+        """
+        self.stats.reallocs += 1
+        if new_size <= buf.capacity:
+            buf.size = new_size
+            return buf
+        copy = used if used is not None else buf.size
+        new = self.alloc(new_size)
+        self.stats.realloc_copy_bytes += copy
+        self.clock.cpu(self.costs.memcpy(copy))
+        self.free(buf)
+        return new
+
+    def grow_doubling(self, buf: Buffer, needed: int, used: int) -> Buffer:
+        """Grow a buffer to at least ``needed`` by repeated doubling.
+
+        Models the ported user-space idiom the paper calls out: each
+        doubling is a full realloc (alloc + copy + free).
+        """
+        while buf.capacity < needed:
+            target = max(buf.capacity * 2, 4096)
+            buf = self.realloc(buf, target, used=used)
+        buf.size = needed
+        return buf
+
+    def suggested_capacity(self, size: int) -> int:
+        """How much to allocate for a request of ``size`` bytes.
+
+        The baseline allocator allocates exactly what was asked.
+        """
+        return size
+
+    def note_message(self, nbytes: int) -> None:
+        """Allocator work for buffering one message.
+
+        The baseline klibc allocator pays kmalloc plus the churn of
+        doubling reallocs, mempool fragmentation, and vfree size
+        lookups (amortized per message).  Bulk values (page-sized)
+        travel through page frames / large mempools and skip the
+        small-object churn.
+        """
+        if nbytes < 2048:
+            self.clock.cpu(self.costs.kmalloc + self.costs.message_alloc_churn)
+        else:
+            self.clock.cpu(self.costs.kmalloc)
+
+    def _class_count(self, capacity: int) -> None:
+        bucket = 1
+        while bucket < capacity:
+            bucket <<= 1
+        self.stats.by_class[bucket] = self.stats.by_class.get(bucket, 0) + 1

@@ -1,0 +1,23 @@
+"""Cost model for the BetrFS reproduction.
+
+All simulated CPU and device costs are defined in this package.  The rest
+of the code base never hard-codes a latency or a per-byte charge; it asks
+:class:`repro.model.costs.CostModel` (CPU side) or a
+:class:`repro.model.profiles.DeviceProfile` (device side).
+"""
+
+from repro.model.costs import CostModel
+from repro.model.profiles import (
+    DeviceProfile,
+    COMMODITY_SSD,
+    COMMODITY_HDD,
+    NULL_DEVICE,
+)
+
+__all__ = [
+    "CostModel",
+    "DeviceProfile",
+    "COMMODITY_SSD",
+    "COMMODITY_HDD",
+    "NULL_DEVICE",
+]

@@ -1,0 +1,14 @@
+"""Southbound storage substrates.
+
+BetrFS v0.4 stacks its key-value store on ext4 (``ext4sim``); BetrFS
+v0.6 replaces that with the Simple File Layer (``sfl``, paper §3).
+Both expose the same :class:`~repro.storage.filelayer.Southbound` API so
+the B-epsilon-tree code is substrate-agnostic, exactly like klibc in
+the real system.
+"""
+
+from repro.storage.filelayer import Southbound
+from repro.storage.ext4sim import Ext4Southbound
+from repro.storage.sfl import SimpleFileLayer
+
+__all__ = ["Southbound", "Ext4Southbound", "SimpleFileLayer"]

@@ -1,0 +1,76 @@
+"""The southbound file API used by the B-epsilon-tree.
+
+This mirrors the klibc shim of the paper: the tree is written against a
+small POSIX-style file API (named files, offset reads/writes, fsync)
+and the substrate decides how those map to the block device.
+
+All writes are asynchronous at the device level; ``sync`` provides the
+durability barrier.  ``byref=True`` writes declare that the caller's
+buffer can be used directly for DMA (scatter-gather) so the substrate
+must not charge a copy — only SFL honours this (§3, §6); ext4 cannot
+(direct I/O on kernel addresses is rejected by stock kernels, as the
+paper notes).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.device.block import BlockDevice, Completion
+from repro.device.clock import SimClock
+from repro.model.costs import CostModel
+
+
+class Southbound:
+    """Abstract southbound storage substrate."""
+
+    def __init__(self, device: BlockDevice, costs: CostModel) -> None:
+        self.device = device
+        self.costs = costs
+        self.clock: SimClock = device.clock
+        self._pending: Dict[str, List[Completion]] = {}
+
+    # ------------------------------------------------------------------
+    # API used by the tree
+    # ------------------------------------------------------------------
+    def create(self, name: str, size: int) -> None:
+        """Create/fallocate a file of ``size`` bytes."""
+        raise NotImplementedError
+
+    def file_size(self, name: str) -> int:
+        raise NotImplementedError
+
+    def write(self, name: str, offset: int, data: bytes, byref: bool = False) -> None:
+        """Asynchronous write at ``offset``."""
+        raise NotImplementedError
+
+    def read(self, name: str, offset: int, length: int) -> bytes:
+        """Synchronous read."""
+        raise NotImplementedError
+
+    def prefetch(self, name: str, offset: int, length: int) -> Completion:
+        """Start an asynchronous read; pair with :meth:`finish_read`."""
+        raise NotImplementedError
+
+    def finish_read(self, completion: Completion) -> bytes:
+        """Wait for a prefetch and return its data."""
+        data = self.device.wait(completion)
+        assert data is not None
+        return data
+
+    def sync(self, name: str) -> None:
+        """fsync: make all writes to ``name`` durable."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # Shared helpers
+    # ------------------------------------------------------------------
+    def _track(self, name: str, completion: Completion) -> None:
+        self._pending.setdefault(name, []).append(completion)
+
+    def _wait_pending(self, name: str) -> None:
+        for completion in self._pending.pop(name, []):
+            self.device.wait(completion)
+
+    def describe(self) -> str:
+        return type(self).__name__

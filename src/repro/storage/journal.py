@@ -1,0 +1,59 @@
+"""A jbd2-style journal model.
+
+Used by the stacked-ext4 southbound (where it produces the paper's
+*double journaling*) and by the baseline file systems.  The journal
+occupies a fixed region of the device; transactions append descriptor +
+metadata blocks and a commit record, then issue a flush barrier.
+"""
+
+from __future__ import annotations
+
+from repro.device.block import BlockDevice
+from repro.model.costs import CostModel
+
+
+class Journal:
+    """Sequential journal with commit barriers in a fixed device region."""
+
+    def __init__(
+        self,
+        device: BlockDevice,
+        costs: CostModel,
+        region_offset: int,
+        region_size: int,
+    ) -> None:
+        self.device = device
+        self.costs = costs
+        self.region_offset = region_offset
+        self.region_size = region_size
+        self.head = 0
+        self.commits = 0
+        self.blocks_logged = 0
+        self._txn_blocks = 0
+
+    def _append(self, data: bytes) -> None:
+        if self.head + len(data) > self.region_size:
+            self.head = 0  # circular wrap; checkpointing is implicit
+        self.device.write(self.region_offset + self.head, data)
+        self.head += len(data)
+
+    def log_block(self, data: bytes = b"") -> None:
+        """Add one metadata block to the running transaction."""
+        self._txn_blocks += 1
+        self.blocks_logged += 1
+        self.device.clock.cpu(self.costs.journal_block)
+
+    def commit(self, durable: bool = True) -> None:
+        """Commit the running transaction (descriptor + blocks + commit).
+
+        ``durable`` commits issue a device flush barrier (fsync path);
+        periodic background commits do not wait.
+        """
+        self.commits += 1
+        self.device.clock.cpu(self.costs.journal_commit)
+        nblocks = max(1, self._txn_blocks)
+        # Descriptor block + logged metadata blocks + commit record.
+        self._append(b"\x00" * (4096 * (nblocks + 2)))
+        self._txn_blocks = 0
+        if durable:
+            self.device.flush()

@@ -1,0 +1,26 @@
+"""A simulated Linux VFS: page cache, dentry/inode caches, read-ahead.
+
+Every simulated file system (BetrFS and the baselines) runs under this
+layer, like real Linux file systems run under the kernel VFS.  The
+paper's §3.3 (conditional logging via dirty inodes), §4 (readdir
+inode instantiation, nlink-based rmdir checks) and §6 (copy-on-write
+page sharing during write-back) optimizations all live in the
+interaction between this layer and the BetrFS northbound code.
+"""
+
+from repro.vfs.inode import FileKind, Stat, VInode
+from repro.vfs.pagecache import CachedPage, PageCache
+from repro.vfs.dcache import DentryCache
+from repro.vfs.vfs import VFS, FileSystemBackend, FSError
+
+__all__ = [
+    "FileKind",
+    "Stat",
+    "VInode",
+    "PageCache",
+    "CachedPage",
+    "DentryCache",
+    "VFS",
+    "FileSystemBackend",
+    "FSError",
+]

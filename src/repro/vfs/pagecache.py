@@ -1,0 +1,180 @@
+"""The VFS page cache.
+
+Pages are :class:`~repro.core.messages.PageFrame` objects so they can
+be shared by reference with the B-epsilon-tree (§6).  A page handed to
+the file system during write-back is marked ``writeback_shared``
+(the paper's ``PG_private`` CoW protocol): a subsequent application
+write to that page triggers a copy-on-write fault and a fresh frame,
+unless the tree has already released its references, in which case the
+copy is elided.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.core.messages import PageFrame
+from repro.device.clock import SimClock
+from repro.model.costs import CostModel
+
+PAGE_SIZE = 4096
+
+
+@dataclass
+class CachedPage:
+    frame: PageFrame
+    dirty: bool = False
+    #: Shared copy-on-write with the file system (PG_private).
+    writeback_shared: bool = False
+    dirtied_at: float = 0.0
+
+
+class PageCache:
+    """Per-mount page cache with dirty tracking and LRU eviction."""
+
+    def __init__(
+        self,
+        clock: SimClock,
+        costs: CostModel,
+        budget_bytes: int,
+        dirty_limit_bytes: int,
+    ) -> None:
+        self.clock = clock
+        self.costs = costs
+        self.budget = budget_bytes
+        self.dirty_limit = dirty_limit_bytes
+        self._pages: "OrderedDict[Tuple[str, int], CachedPage]" = OrderedDict()
+        self.dirty_bytes = 0
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.cow_copies = 0
+        self.cow_elided = 0
+
+    # ------------------------------------------------------------------
+    def lookup(self, path: str, idx: int) -> Optional[CachedPage]:
+        self.clock.cpu(self.costs.page_cache_op)
+        page = self._pages.get((path, idx))
+        if page is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        self._pages.move_to_end((path, idx))
+        return page
+
+    def insert_clean(self, path: str, idx: int, frame: PageFrame) -> CachedPage:
+        self.clock.cpu(self.costs.page_cache_op)
+        page = CachedPage(frame=frame, dirty=False)
+        old = self._pages.get((path, idx))
+        if old is not None and old.dirty:
+            self.dirty_bytes -= len(old.frame)
+        self._pages[(path, idx)] = page
+        self._pages.move_to_end((path, idx))
+        return page
+
+    def write(self, path: str, idx: int, offset: int, data: bytes) -> CachedPage:
+        """Apply an application write to a cached page (CoW-aware).
+
+        ``offset`` is within the page; the caller has already filled
+        the page (via read or zeroing) if this is a partial write to an
+        existing block.
+        """
+        key = (path, idx)
+        page = self._pages.get(key)
+        self.clock.cpu(self.costs.page_cache_op)
+        if page is None:
+            frame = PageFrame(b"\x00" * PAGE_SIZE)
+            page = CachedPage(frame=frame)
+            self._pages[key] = page
+        elif page.writeback_shared:
+            # The frame is referenced by the file system.  If those
+            # references are gone, reuse the frame; otherwise CoW.
+            if page.frame.refs > 1:
+                self.clock.cpu(self.costs.cow_trap)
+                self.clock.cpu(self.costs.memcpy(PAGE_SIZE))
+                old = page.frame
+                page.frame = PageFrame(old.data)
+                old.put()
+                self.cow_copies += 1
+            else:
+                self.cow_elided += 1
+            page.writeback_shared = False
+        # Apply the write into the frame.
+        self.clock.cpu(self.costs.memcpy(len(data)))
+        buf = page.frame.data
+        end = offset + len(data)
+        if len(buf) < end:
+            buf = buf + b"\x00" * (end - len(buf))
+        page.frame.data = buf[:offset] + data + buf[end:]
+        if not page.dirty:
+            page.dirty = True
+            page.dirtied_at = self.clock.now
+            self.dirty_bytes += PAGE_SIZE
+        self._pages.move_to_end(key)
+        return page
+
+    # ------------------------------------------------------------------
+    def mark_clean(self, path: str, idx: int, shared: bool) -> None:
+        page = self._pages.get((path, idx))
+        if page is None:
+            return
+        if page.dirty:
+            page.dirty = False
+            self.dirty_bytes -= PAGE_SIZE
+        page.writeback_shared = shared
+
+    def dirty_pages(
+        self, path: Optional[str] = None
+    ) -> List[Tuple[str, int, CachedPage]]:
+        out = []
+        for (p, idx), page in self._pages.items():
+            if page.dirty and (path is None or p == path):
+                out.append((p, idx, page))
+        return out
+
+    def over_dirty_limit(self) -> bool:
+        return self.dirty_bytes >= self.dirty_limit
+
+    def drop_file(self, path: str) -> None:
+        """Invalidate every cached page of ``path`` (unlink/truncate)."""
+        doomed = [k for k in self._pages if k[0] == path]
+        for k in doomed:
+            page = self._pages.pop(k)
+            if page.dirty:
+                self.dirty_bytes -= PAGE_SIZE
+            page.frame.put()
+
+    def drop_all(self) -> None:
+        """Drop the whole cache (echo 3 > drop_caches)."""
+        for page in self._pages.values():
+            page.frame.put()
+        self._pages.clear()
+        self.dirty_bytes = 0
+
+    def evict_to_fit(self) -> List[Tuple[str, int, CachedPage]]:
+        """Evict clean LRU pages; returns dirty pages that must be
+        written back first (caller writes them, then calls again)."""
+        need_writeback: List[Tuple[str, int, CachedPage]] = []
+        used = len(self._pages) * PAGE_SIZE
+        if used <= self.budget:
+            return need_writeback
+        for key in list(self._pages.keys()):
+            if used <= self.budget:
+                break
+            page = self._pages[key]
+            if page.dirty:
+                need_writeback.append((key[0], key[1], page))
+                continue
+            self._pages.pop(key)
+            page.frame.put()
+            used -= PAGE_SIZE
+            self.evictions += 1
+        return need_writeback
+
+    def cached_bytes(self) -> int:
+        return len(self._pages) * PAGE_SIZE
+
+    def __iter__(self) -> Iterator[Tuple[Tuple[str, int], CachedPage]]:
+        return iter(self._pages.items())

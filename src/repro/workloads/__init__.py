@@ -1,0 +1,55 @@
+"""Workload drivers for every benchmark in the paper's evaluation.
+
+Each workload drives a mounted simulated file system (BetrFS variant
+or baseline) through its VFS interface and reports the paper's metric
+(MB/s, Kop/s, or seconds) measured on the *simulated* clock.
+
+Workloads are scaled-down versions of the paper's (§7): sizes are set
+by a :class:`WorkloadScale` so simulated cache-to-data ratios mirror
+the paper's testbed (32 GB RAM, 250 GB SSD, 80 GiB files, millions of
+files), while Python wall-clock time stays manageable.
+"""
+
+from repro.workloads.scale import WorkloadScale, DEFAULT_SCALE, SMOKE_SCALE
+from repro.workloads.sequential import seq_read, seq_write
+from repro.workloads.randwrite import random_write_4b, random_write_4k
+from repro.workloads.tokubench import tokubench
+from repro.workloads.trees import TreeSpec, build_tree, linux_like_tree
+from repro.workloads.dirops import grep_tree, find_tree, rm_rf
+from repro.workloads.archive import tar_tree, untar_tree
+from repro.workloads.gitops import git_clone, git_diff
+from repro.workloads.rsync import rsync_copy
+from repro.workloads.mailserver import mailserver
+from repro.workloads.filebench import (
+    filebench_fileserver,
+    filebench_oltp,
+    filebench_webproxy,
+    filebench_webserver,
+)
+
+__all__ = [
+    "WorkloadScale",
+    "DEFAULT_SCALE",
+    "SMOKE_SCALE",
+    "seq_read",
+    "seq_write",
+    "random_write_4k",
+    "random_write_4b",
+    "tokubench",
+    "TreeSpec",
+    "build_tree",
+    "linux_like_tree",
+    "grep_tree",
+    "find_tree",
+    "rm_rf",
+    "tar_tree",
+    "untar_tree",
+    "git_clone",
+    "git_diff",
+    "rsync_copy",
+    "mailserver",
+    "filebench_oltp",
+    "filebench_fileserver",
+    "filebench_webserver",
+    "filebench_webproxy",
+]

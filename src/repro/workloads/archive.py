@@ -1,0 +1,46 @@
+"""tar / untar application benchmark (Figure 2a)."""
+
+from __future__ import annotations
+
+from repro.workloads.trees import TreeSpec, build_tree, file_content
+
+CHUNK = 1 << 20
+
+
+def untar_tree(mount, spec: TreeSpec) -> float:
+    """Unpack a tarball: sequential creates + writes; returns seconds.
+
+    (The tarball itself is modeled as already-streamed input — tar is
+    CPU-trivial; the cost is the file system's.)
+    """
+    start = mount.clock.now
+    build_tree(mount, spec, fsync_at_end=True)
+    return mount.clock.now - start
+
+
+def tar_tree(mount, spec: TreeSpec, out_path: str = "/archive.tar") -> float:
+    """Create a tarball of an existing tree; returns seconds.
+
+    Reads every file in traversal order and appends to one output
+    file, then fsyncs the archive.
+    """
+    vfs = mount.vfs
+    mount.drop_caches()
+    start = mount.clock.now
+    vfs.create(out_path)
+    out_pos = 0
+    for path, size in spec.files:
+        st = vfs.stat(path)
+        pos = 0
+        while pos < st.size:
+            chunk = vfs.read(path, pos, CHUNK)
+            if not chunk:
+                break
+            vfs.write(out_path, out_pos, chunk)
+            out_pos += len(chunk)
+            pos += len(chunk)
+        # 512-byte tar header per member.
+        vfs.write(out_path, out_pos, b"\x00" * 512)
+        out_pos += 512
+    vfs.fsync(out_path)
+    return mount.clock.now - start

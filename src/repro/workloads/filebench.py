@@ -1,0 +1,158 @@
+"""Filebench workload personalities (Figures 2e-2h).
+
+Scaled implementations of the four personalities the paper runs:
+
+* **OLTP** — a database file with small random reads/writes, a log
+  file with synchronous appends, heavy fsync use.
+* **Fileserver** — create/write/append/read/delete over a flat-ish
+  tree, stat-heavy.
+* **Webserver** — read-mostly: open+read whole small files, append to
+  a shared access log.
+* **Webproxy** — read-mostly with create/delete churn of cached
+  objects.
+
+Each returns operations per second (the paper's figures report
+K/M op/s).
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.workloads.scale import WorkloadScale
+
+PAGE = 4096
+_PAT = bytes(PAGE)
+
+
+def filebench_oltp(mount, scale: WorkloadScale, seed: int = 21) -> float:
+    vfs = mount.vfs
+    rng = random.Random(seed)
+    db_bytes = min(scale.rand_file_bytes, 24 << 20)
+    vfs.create("/oltp.db")
+    pos = 0
+    while pos < db_bytes:
+        vfs.write("/oltp.db", pos, _PAT * 64)
+        pos += PAGE * 64
+    vfs.create("/oltp.log")
+    vfs.sync()
+    mount.drop_caches()
+    nblocks = db_bytes // PAGE
+    log_pos = 0
+    start = mount.clock.now
+    ops = 0
+    for i in range(scale.filebench_ops):
+        r = rng.random()
+        if r < 0.55:
+            vfs.read("/oltp.db", rng.randrange(nblocks) * PAGE, PAGE)
+        else:
+            vfs.write("/oltp.db", rng.randrange(nblocks) * PAGE, _PAT)
+            vfs.write("/oltp.log", log_pos, b"L" * 512)
+            log_pos += 512
+            vfs.fsync("/oltp.log")  # group-commit the log
+        ops += 1
+    vfs.sync()
+    return ops / (mount.clock.now - start)
+
+
+def _populate_flat(mount, root: str, n_files: int, file_bytes: int) -> list:
+    vfs = mount.vfs
+    vfs.mkdir(root)
+    paths = []
+    body = _PAT * max(1, file_bytes // PAGE)
+    for d in range(max(1, n_files // 64)):
+        vfs.mkdir(f"{root}/d{d:03d}")
+    for i in range(n_files):
+        path = f"{root}/d{i % max(1, n_files // 64):03d}/f{i:05d}"
+        vfs.create(path)
+        vfs.write(path, 0, body[:file_bytes])
+        paths.append(path)
+    vfs.sync()
+    return paths
+
+
+def filebench_fileserver(mount, scale: WorkloadScale, seed: int = 22) -> float:
+    """create/write/append/read/stat/delete mix (16 KiB files)."""
+    vfs = mount.vfs
+    rng = random.Random(seed)
+    n = max(64, scale.filebench_ops // 8)
+    paths = _populate_flat(mount, "/srv", n, 16384)
+    mount.drop_caches()
+    next_id = len(paths)
+    start = mount.clock.now
+    ops = 0
+    for _ in range(scale.filebench_ops):
+        r = rng.random()
+        if r < 0.30 and paths:
+            vfs.read(rng.choice(paths), 0, 16384)
+        elif r < 0.55:
+            path = f"/srv/d{rng.randrange(max(1, n // 64)):03d}/n{next_id:05d}"
+            next_id += 1
+            vfs.create(path)
+            vfs.write(path, 0, _PAT * 4)
+            paths.append(path)
+        elif r < 0.75 and paths:
+            path = rng.choice(paths)
+            st = vfs.stat(path)
+            vfs.write(path, st.size, _PAT)  # append
+        elif r < 0.90 and paths:
+            vfs.stat(rng.choice(paths))
+        elif paths:
+            victim = paths.pop(rng.randrange(len(paths)))
+            vfs.unlink(victim)
+        ops += 1
+    vfs.sync()
+    return ops / (mount.clock.now - start)
+
+
+def filebench_webserver(mount, scale: WorkloadScale, seed: int = 23) -> float:
+    """Read-mostly: whole-file reads of small files + log appends."""
+    vfs = mount.vfs
+    rng = random.Random(seed)
+    n = max(64, scale.filebench_ops // 4)
+    paths = _populate_flat(mount, "/www", n, 12288)
+    vfs.create("/www.log")
+    mount.drop_caches()
+    log_pos = 0
+    start = mount.clock.now
+    ops = 0
+    for i in range(scale.filebench_ops):
+        for _ in range(10):  # filebench webserver: 10 reads per log append
+            vfs.read(rng.choice(paths), 0, 12288)
+            ops += 1
+        vfs.write("/www.log", log_pos, b"GET /index.html 200\n" * 5)
+        log_pos += 100
+        ops += 1
+    vfs.sync()
+    return ops / (mount.clock.now - start)
+
+
+def filebench_webproxy(mount, scale: WorkloadScale, seed: int = 24) -> float:
+    """Proxy cache: read-mostly with object create/delete churn."""
+    vfs = mount.vfs
+    rng = random.Random(seed)
+    n = max(64, scale.filebench_ops // 4)
+    paths = _populate_flat(mount, "/proxy", n, 8192)
+    vfs.create("/proxy.log")
+    mount.drop_caches()
+    next_id = len(paths)
+    log_pos = 0
+    start = mount.clock.now
+    ops = 0
+    for i in range(scale.filebench_ops):
+        for _ in range(5):  # 5 reads per churn cycle
+            vfs.read(rng.choice(paths), 0, 8192)
+            ops += 1
+        # Evict one object, admit another, log it.
+        victim = paths.pop(rng.randrange(len(paths)))
+        vfs.unlink(victim)
+        path = f"/proxy/d{rng.randrange(max(1, n // 64)):03d}/o{next_id:05d}"
+        next_id += 1
+        vfs.create(path)
+        vfs.write(path, 0, _PAT * 2)
+        paths.append(path)
+        vfs.write("/proxy.log", log_pos, b"CACHE admit\n")
+        log_pos += 12
+        ops += 3
+    vfs.sync()
+    return ops / (mount.clock.now - start)

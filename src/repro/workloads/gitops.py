@@ -1,0 +1,94 @@
+"""git clone / git diff application benchmarks (Figure 2b).
+
+* ``git clone`` from one local directory to another: reads the source
+  repository (a tree plus a large pack file) and writes the clone —
+  many small creates, one big sequential file, and a final sync.
+* ``git diff`` between two tags: reads commit/tree metadata and the
+  blobs reachable from both tags out of the pack — a cold, seeky,
+  read-mostly workload that then writes nothing.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.trees import TreeSpec, file_content
+
+CHUNK = 1 << 20
+PAGE = 4096
+
+
+def git_clone(mount, spec: TreeSpec, src_pack_bytes: int, dst_root: str) -> float:
+    """Clone: read source tree + pack, write it all under dst_root."""
+    vfs = mount.vfs
+    mount.drop_caches()
+    start = mount.clock.now
+    # Read the pack sequentially, write the clone's pack.
+    pack_src = f"{spec.root}/.git-pack"
+    pack_dst = f"{dst_root}/.git-pack"
+    vfs.mkdir(dst_root)
+    vfs.create(pack_dst)
+    pos = 0
+    while pos < src_pack_bytes:
+        chunk = vfs.read(pack_src, pos, CHUNK)
+        if not chunk:
+            break
+        vfs.write(pack_dst, pos, chunk)
+        pos += len(chunk)
+    # Check out the working tree.
+    n_root = len(spec.root)
+    for d in spec.dirs:
+        if d != spec.root:
+            vfs.mkdir(dst_root + d[n_root:])
+    for path, size in spec.files:
+        dst = dst_root + path[n_root:]
+        vfs.create(dst)
+        wrote = 0
+        while wrote < size:
+            n = min(CHUNK, size - wrote)
+            chunk = vfs.read(path, wrote, n)
+            vfs.write(dst, wrote, chunk if chunk else b"\x00" * n)
+            wrote += n
+    vfs.sync()
+    return mount.clock.now - start
+
+
+def git_diff(mount, spec: TreeSpec, src_pack_bytes: int, touched_frac: float = 0.25) -> float:
+    """Diff two tags: seeky reads of a quarter of the blobs + pack walk."""
+    vfs = mount.vfs
+    mount.drop_caches()
+    start = mount.clock.now
+    # Walk pack index: scattered reads over the pack file.
+    pack = f"{spec.root}/.git-pack"
+    step = max(PAGE, src_pack_bytes // 64)
+    pos = 0
+    while pos < src_pack_bytes:
+        vfs.read(pack, pos, PAGE)
+        pos += step
+    # Read the touched blobs (every 1/touched_frac-th file).
+    stride = max(1, int(1 / touched_frac))
+    for i, (path, size) in enumerate(spec.files):
+        if i % stride:
+            continue
+        pos = 0
+        while pos < size:
+            chunk = vfs.read(path, pos, CHUNK)
+            if not chunk:
+                break
+            pos += len(chunk)
+    return mount.clock.now - start
+
+
+def setup_git_repo(mount, spec: TreeSpec, pack_bytes: int) -> None:
+    """Materialize the source repository (tree + pack file)."""
+    from repro.workloads.trees import build_tree
+
+    build_tree(mount, spec, fsync_at_end=False)
+    vfs = mount.vfs
+    pack = f"{spec.root}/.git-pack"
+    vfs.create(pack)
+    pattern = b"\x42" * CHUNK
+    pos = 0
+    while pos < pack_bytes:
+        n = min(CHUNK, pack_bytes - pos)
+        vfs.write(pack, pos, pattern[:n])
+        pos += n
+    vfs.sync()

@@ -1,0 +1,86 @@
+"""Dovecot mailserver benchmark (Figure 2d).
+
+The paper: Dovecot 2.2.13, 10 folders x 2500 messages, 8 clients x
+10 000 operations, 50% reads and 50% updates (marks, moves, deletes).
+Maildir-style storage: one file per message; a mark rewrites flags in
+the file name / index (small write + fsync), a move is a rename across
+folders, a delete is an unlink; reads read the whole message.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+from repro.workloads.scale import WorkloadScale
+
+MSG_BYTES = 8192  # ~8 KiB average message
+
+
+def _msg_path(folder: int, msg_id: int) -> str:
+    return f"/mail/folder{folder:02d}/cur/m{msg_id:07d}"
+
+
+def setup_mailserver(mount, scale: WorkloadScale) -> List[List[int]]:
+    """Create folders and initial messages; returns live ids per folder."""
+    vfs = mount.vfs
+    body = b"Subject: hello\r\n\r\n" + b"m" * (MSG_BYTES - 20)
+    vfs.mkdir("/mail")
+    folders: List[List[int]] = []
+    next_id = 0
+    for f in range(scale.mail_folders):
+        vfs.mkdir(f"/mail/folder{f:02d}")
+        vfs.mkdir(f"/mail/folder{f:02d}/cur")
+        ids = []
+        for _ in range(scale.mail_msgs_per_folder):
+            path = _msg_path(f, next_id)
+            vfs.create(path)
+            vfs.write(path, 0, body)
+            ids.append(next_id)
+            next_id += 1
+        folders.append(ids)
+    vfs.sync()
+    mount.drop_caches()
+    return folders
+
+
+def mailserver(mount, scale: WorkloadScale, seed: int = 11) -> float:
+    """Run the 50/50 read/update mix; returns ops/second."""
+    vfs = mount.vfs
+    folders = setup_mailserver(mount, scale)
+    rng = random.Random(seed)
+    next_id = sum(len(ids) for ids in folders)
+    start = mount.clock.now
+    ops = 0
+    for _ in range(scale.mail_ops):
+        f = rng.randrange(len(folders))
+        if not folders[f]:
+            continue
+        r = rng.random()
+        if r < 0.50:
+            # Read a message.
+            msg = rng.choice(folders[f])
+            vfs.read(_msg_path(f, msg), 0, MSG_BYTES)
+        elif r < 0.80:
+            # Mark: rewrite the index/flags — small durable update.
+            msg = rng.choice(folders[f])
+            path = _msg_path(f, msg)
+            vfs.write(path, 0, b"Status: RO\r\n")
+            vfs.fsync(path)
+        elif r < 0.92:
+            # Move to another folder (rename).
+            msg = folders[f].pop(rng.randrange(len(folders[f])))
+            g = rng.randrange(len(folders))
+            src = _msg_path(f, msg)
+            dst = _msg_path(g, next_id)
+            next_id += 1
+            vfs.rename(src, dst)
+            folders[g].append(next_id - 1)
+        else:
+            # Delete.
+            msg = folders[f].pop(rng.randrange(len(folders[f])))
+            vfs.unlink(_msg_path(f, msg))
+        ops += 1
+    vfs.sync()
+    elapsed = mount.clock.now - start
+    return ops / elapsed

@@ -1,0 +1,88 @@
+"""Workload scaling.
+
+The paper's testbed: 32 GB RAM, 250 GB SSD; 80 GiB sequential files,
+10 GiB random-write file, 3M-file TokuBench, a ~600 MB / ~48k-file
+Linux source tree.  The scales below shrink everything by a common
+factor while preserving the cache-to-data ratios that produce the
+paper's effects (files larger than RAM, metadata larger than caches).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+KIB = 1024
+MIB = 1024 * KIB
+
+
+@dataclass(frozen=True)
+class WorkloadScale:
+    """Sizes for one benchmark campaign."""
+
+    name: str
+    #: Sequential I/O file size (paper: 80 GiB).
+    seq_bytes: int
+    #: Random-write target file size (paper: 10 GiB).
+    rand_file_bytes: int
+    #: Number of random writes (paper: 256 K).
+    rand_ops: int
+    #: TokuBench file count (paper: 3 M, 200-byte files, fanout 128).
+    toku_files: int
+    #: Files in one Linux-like source tree copy (paper: ~48 k).
+    tree_files: int
+    #: Total bytes in one tree copy (paper: ~600 MB).
+    tree_bytes: int
+    #: Mailserver: folders x messages, ops (paper: 10x2500, 80 k ops).
+    mail_folders: int
+    mail_msgs_per_folder: int
+    mail_ops: int
+    #: Filebench op counts.
+    filebench_ops: int
+    #: Simulated RAM: page-cache bytes (paper: 32 GB, so data/RAM ~2.5
+    #: for sequential I/O).
+    page_cache_bytes: int
+    dirty_limit_bytes: int
+    #: B-epsilon-tree node-cache bytes.
+    tree_cache_bytes: int
+    #: Tree geometry scale (1.0 = the paper's 4 MiB nodes).
+    geometry: float
+
+
+#: Standard benchmark scale: ~1/2560 of the paper's byte counts with
+#: cache ratios preserved; tree geometry 1/16 (256 KiB nodes).
+DEFAULT_SCALE = WorkloadScale(
+    name="default",
+    seq_bytes=64 * MIB,
+    rand_file_bytes=72 * MIB,
+    rand_ops=2048,
+    toku_files=12000,
+    tree_files=1600,
+    tree_bytes=20 * MIB,
+    mail_folders=10,
+    mail_msgs_per_folder=120,
+    mail_ops=4000,
+    filebench_ops=3000,
+    page_cache_bytes=13 * MIB,
+    dirty_limit_bytes=4 * MIB,
+    tree_cache_bytes=10 * MIB,
+    geometry=1.0 / 16.0,
+)
+
+#: Tiny scale for the test suite (seconds, not minutes).
+SMOKE_SCALE = WorkloadScale(
+    name="smoke",
+    seq_bytes=6 * MIB,
+    rand_file_bytes=8 * MIB,
+    rand_ops=512,
+    toku_files=1500,
+    tree_files=300,
+    tree_bytes=4 * MIB,
+    mail_folders=4,
+    mail_msgs_per_folder=30,
+    mail_ops=400,
+    filebench_ops=400,
+    page_cache_bytes=3 * MIB,
+    dirty_limit_bytes=1 * MIB,
+    tree_cache_bytes=2 * MIB,
+    geometry=1.0 / 16.0,
+)

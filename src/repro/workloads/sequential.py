@@ -1,0 +1,46 @@
+"""Sequential I/O microbenchmarks (fio-style, Table 1/3 columns 1-2)."""
+
+from __future__ import annotations
+
+from repro.workloads.scale import WorkloadScale
+
+PAGE = 4096
+MIB = 1 << 20
+
+#: One shared page pattern; contents are irrelevant to the cost model
+#: and sharing the object keeps Python memory flat.
+_PATTERN = bytes(PAGE)
+
+
+def seq_write(mount, scale: WorkloadScale, chunk: int = 1 * MIB) -> float:
+    """Write one large file sequentially; returns MB/s (simulated).
+
+    Mirrors fio writing a single 80 GiB file then fsync-ing.
+    """
+    vfs = mount.vfs
+    vfs.create("/seqfile")
+    start = mount.clock.now
+    payload = _PATTERN * (chunk // PAGE)
+    pos = 0
+    while pos < scale.seq_bytes:
+        n = min(chunk, scale.seq_bytes - pos)
+        vfs.write("/seqfile", pos, payload[:n])
+        pos += n
+    vfs.fsync("/seqfile")
+    elapsed = mount.clock.now - start
+    return (scale.seq_bytes / 1e6) / elapsed
+
+
+def seq_read(mount, scale: WorkloadScale, chunk: int = 1 * MIB) -> float:
+    """Cold-cache sequential read of the file written by seq_write."""
+    vfs = mount.vfs
+    mount.drop_caches()
+    start = mount.clock.now
+    pos = 0
+    while pos < scale.seq_bytes:
+        n = min(chunk, scale.seq_bytes - pos)
+        got = vfs.read("/seqfile", pos, n)
+        assert len(got) == n
+        pos += n
+    elapsed = mount.clock.now - start
+    return (scale.seq_bytes / 1e6) / elapsed

@@ -1,0 +1,160 @@
+"""Functional tests for the baseline file-system models."""
+
+import pytest
+
+from repro.baselines import BASELINES, make_baseline
+from repro.betrfs.filesystem import MountOptions
+from repro.vfs.vfs import FSError
+
+OPTS = MountOptions(scale=1 / 32)
+
+
+@pytest.fixture(params=sorted(BASELINES))
+def mount(request):
+    return make_baseline(request.param, OPTS)
+
+
+class TestFunctional:
+    def test_basic_file_lifecycle(self, mount):
+        v = mount.vfs
+        v.mkdir("/d")
+        v.create("/d/f")
+        v.write("/d/f", 0, b"hello" * 1000)
+        v.fsync("/d/f")
+        assert v.read("/d/f", 0, 5) == b"hello"
+        assert v.readdir("/d") == ["f"]
+        v.unlink("/d/f")
+        v.rmdir("/d")
+        assert not v.exists("/d")
+
+    def test_data_survives_cache_drop(self, mount):
+        v = mount.vfs
+        v.create("/f")
+        data = bytes(range(256)) * 256  # 64 KiB
+        v.write("/f", 0, data)
+        v.sync()
+        mount.drop_caches()
+        assert v.read("/f", 0, len(data)) == data
+
+    def test_rename_preserves_data_without_copy(self, mount):
+        v = mount.vfs
+        v.create("/a")
+        v.write("/a", 0, b"M" * 50000)
+        v.sync()
+        written_before = mount.device.stats.bytes_written
+        v.rename("/a", "/b")
+        v.sync()
+        written_after = mount.device.stats.bytes_written
+        # Rename is metadata-only: far less than re-writing 50 KB.
+        assert written_after - written_before < 50000
+        assert v.read("/b", 0, 50000) == b"M" * 50000
+
+    def test_directory_rename_moves_subtree(self, mount):
+        v = mount.vfs
+        v.mkdir("/x")
+        v.mkdir("/x/y")
+        v.create("/x/y/f")
+        v.write("/x/y/f", 0, b"deep")
+        v.rename("/x", "/z")
+        assert v.read("/z/y/f", 0, 4) == b"deep"
+        assert not v.exists("/x")
+
+    def test_sparse_files(self, mount):
+        v = mount.vfs
+        v.create("/sparse")
+        v.write("/sparse", 10 * 4096, b"end")
+        mount.drop_caches()
+        assert v.read("/sparse", 0, 4096) == b"\x00" * 4096
+        assert v.read("/sparse", 10 * 4096, 3) == b"end"
+
+    def test_rmdir_nonempty_fails(self, mount):
+        v = mount.vfs
+        v.mkdir("/d")
+        v.create("/d/f")
+        with pytest.raises(FSError):
+            v.rmdir("/d")
+
+
+class TestModelBehaviour:
+    def test_cold_lookup_reads_metadata_blocks(self):
+        mount = make_baseline("ext4", OPTS)
+        v = mount.vfs
+        v.mkdir("/d")
+        v.create("/d/f")
+        v.sync()
+        mount.drop_caches()
+        reads_before = mount.device.stats.reads
+        v.stat("/d/f")
+        assert mount.device.stats.reads > reads_before
+
+    def test_warm_lookup_is_read_free(self):
+        mount = make_baseline("ext4", OPTS)
+        v = mount.vfs
+        v.mkdir("/d")
+        v.create("/d/f")
+        v.stat("/d/f")
+        reads_before = mount.device.stats.reads
+        v.stat("/d/f")
+        assert mount.device.stats.reads == reads_before
+
+    def test_random_writes_slower_than_sequential(self):
+        mount = make_baseline("ext4", OPTS)
+        v = mount.vfs
+        v.create("/f")
+        chunk = b"s" * 4096
+        for i in range(256):
+            v.write("/f", i * 4096, chunk)
+        v.fsync("/f")
+        t0 = mount.clock.now
+        for i in range(256):
+            v.write("/f2" if False else "/f", i * 4096, chunk)
+        v.fsync("/f")
+        seq_time = mount.clock.now - t0
+        import random
+
+        rng = random.Random(1)
+        t0 = mount.clock.now
+        for _ in range(256):
+            v.write("/f", rng.randrange(256) * 4096, chunk)
+        v.fsync("/f")
+        rand_time = mount.clock.now - t0
+        assert rand_time > seq_time * 2
+
+    def test_zfs_random_writes_slowest(self):
+        times = {}
+        import random
+
+        for name in ("xfs", "zfs"):
+            mount = make_baseline(name, OPTS)
+            v = mount.vfs
+            v.create("/f")
+            for i in range(512):
+                v.write("/f", i * 4096, b"p" * 4096)
+            v.fsync("/f")
+            rng = random.Random(2)
+            t0 = mount.clock.now
+            for _ in range(256):
+                v.write("/f", rng.randrange(512) * 4096, b"q" * 4096)
+            v.fsync("/f")
+            times[name] = mount.clock.now - t0
+        assert times["zfs"] > times["xfs"]
+
+    def test_small_files_pack_into_directory_zones(self):
+        mount = make_baseline("ext4", OPTS)
+        v = mount.vfs
+        v.mkdir("/d")
+        for i in range(64):
+            path = f"/d/f{i:02d}"
+            v.create(path)
+            v.write(path, 0, b"t" * 200)
+        v.sync()
+        # Write-back of the 64 tiny files must be mostly sequential.
+        s = mount.device.stats
+        assert s.seq_writes > s.rand_writes
+
+    def test_params_exist_for_all_paper_baselines(self):
+        assert set(BASELINES) == {"ext4", "btrfs", "xfs", "f2fs", "zfs"}
+
+    def test_unknown_baseline_rejected(self):
+        with pytest.raises(KeyError):
+            make_baseline("ntfs", OPTS)

@@ -1,0 +1,165 @@
+"""Tests for the node cache, page cache and dentry cache."""
+
+from repro.core.cache import NodeCache
+from repro.core.messages import PageFrame
+from repro.core.node import InternalNode, LeafNode
+from repro.device.clock import SimClock
+from repro.model.costs import CostModel
+from repro.vfs.dcache import DentryCache
+from repro.vfs.inode import FileKind, Stat, VInode
+from repro.vfs.pagecache import PAGE_SIZE, PageCache
+
+
+def leaf_with(node_id, nbytes):
+    from repro.core.messages import Insert
+
+    leaf = LeafNode(node_id)
+    leaf.apply(Insert(b"k%d" % node_id, b"x" * nbytes, msn=node_id), 1 << 20)
+    return leaf
+
+
+class TestNodeCache:
+    def test_hit_miss_counters(self):
+        cache = NodeCache(1 << 20)
+        cache.put(leaf_with(1, 10), owner=None)
+        assert cache.get(1) is not None
+        assert cache.get(2) is None
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_eviction_prefers_leaves(self):
+        cache = NodeCache(600)
+        owner = object()
+        internal = InternalNode(1, height=1)
+        internal.children = [2]
+        cache.put(internal, owner)
+        cache.put(leaf_with(2, 300), owner)
+        cache.put(leaf_with(3, 300), owner)
+        written = []
+        cache.evict_to_fit(lambda o, n: written.append(n.node_id))
+        # The internal node survives; a leaf went.
+        assert cache.get(1) is not None
+
+    def test_pinned_nodes_survive(self):
+        cache = NodeCache(100)
+        owner = object()
+        cache.put(leaf_with(1, 400), owner)
+        cache.pin(1)
+        cache.evict_to_fit(lambda o, n: None)
+        assert cache.get(1) is not None
+        cache.unpin(1)
+        cache.evict_to_fit(lambda o, n: None)
+        assert cache.get(1) is None
+
+    def test_dirty_victims_are_written(self):
+        cache = NodeCache(100)
+        owner = object()
+        leaf = leaf_with(1, 400)
+        leaf.dirty = True
+        cache.put(leaf, owner)
+        written = []
+        cache.evict_to_fit(lambda o, n: written.append((o, n.node_id)))
+        assert written == [(owner, 1)]
+
+    def test_dirty_nodes_iteration(self):
+        cache = NodeCache(1 << 20)
+        a, b = leaf_with(1, 10), leaf_with(2, 10)
+        b.dirty = False
+        cache.put(a, "o1")
+        cache.put(b, "o2")
+        assert [(o, n.node_id) for o, n in cache.dirty_nodes()] == [("o1", 1)]
+
+
+class TestPageCache:
+    def make(self):
+        return PageCache(SimClock(), CostModel(), 16 * PAGE_SIZE, 4 * PAGE_SIZE)
+
+    def test_write_then_lookup(self):
+        pc = self.make()
+        pc.write("/f", 0, 0, b"hello")
+        page = pc.lookup("/f", 0)
+        assert page.dirty
+        assert page.frame.data[:5] == b"hello"
+        assert pc.dirty_bytes == PAGE_SIZE
+
+    def test_mark_clean(self):
+        pc = self.make()
+        pc.write("/f", 0, 0, b"x")
+        pc.mark_clean("/f", 0, shared=True)
+        assert pc.dirty_bytes == 0
+        assert pc.lookup("/f", 0).writeback_shared
+
+    def test_cow_on_shared_frame(self):
+        pc = self.make()
+        pc.write("/f", 0, 0, b"v1")
+        page = pc.lookup("/f", 0)
+        page.frame.get()  # the "tree" takes a reference
+        pc.mark_clean("/f", 0, shared=True)
+        old = page.frame
+        pc.write("/f", 0, 0, b"v2")
+        assert pc.lookup("/f", 0).frame is not old
+        assert pc.cow_copies == 1
+        assert old.data[:2] == b"v1"  # history preserved for the tree
+
+    def test_cow_elided_when_tree_released(self):
+        pc = self.make()
+        pc.write("/f", 0, 0, b"v1")
+        pc.mark_clean("/f", 0, shared=True)  # shared but refs == 1
+        old = pc.lookup("/f", 0).frame
+        pc.write("/f", 0, 0, b"v2")
+        assert pc.lookup("/f", 0).frame is old
+        assert pc.cow_elided == 1
+
+    def test_drop_file(self):
+        pc = self.make()
+        pc.write("/f", 0, 0, b"a")
+        pc.write("/g", 0, 0, b"b")
+        pc.drop_file("/f")
+        assert pc.lookup("/f", 0) is None
+        assert pc.lookup("/g", 0) is not None
+        assert pc.dirty_bytes == PAGE_SIZE
+
+    def test_eviction_returns_dirty_for_writeback(self):
+        pc = self.make()
+        for i in range(20):
+            pc.write("/f", i, 0, b"d")
+        need = pc.evict_to_fit()
+        assert need  # dirty pages cannot be silently dropped
+        for p, i, page in need:
+            pc.mark_clean(p, i, shared=False)
+        pc.evict_to_fit()
+        assert pc.cached_bytes() <= pc.budget
+
+
+class TestDentryCache:
+    def test_positive_negative(self):
+        dc = DentryCache()
+        dc.insert(VInode("/a", Stat()))
+        dc.insert_negative("/missing")
+        assert dc.get("/a") is not None
+        assert dc.contains("/missing") and dc.get("/missing") is None
+        assert dc.negative_hits == 1
+
+    def test_invalidate_tree(self):
+        dc = DentryCache()
+        for p in ("/d", "/d/x", "/d/x/y", "/dz"):
+            dc.insert(VInode(p, Stat()))
+        dc.invalidate_tree("/d")
+        assert not dc.contains("/d")
+        assert not dc.contains("/d/x/y")
+        assert dc.contains("/dz")  # sibling with shared prefix survives
+
+    def test_dirty_inodes_never_evicted(self):
+        dc = DentryCache(capacity=4)
+        dirty = VInode("/dirty", Stat(), dirty=True)
+        dc.insert(dirty)
+        for i in range(10):
+            dc.insert(VInode(f"/clean{i}", Stat()))
+        assert dc.contains("/dirty")
+
+    def test_clear_clean_keeps_dirty(self):
+        dc = DentryCache()
+        dc.insert(VInode("/dirty", Stat(), dirty=True))
+        dc.insert(VInode("/clean", Stat()))
+        dc.clear_clean()
+        assert dc.contains("/dirty")
+        assert not dc.contains("/clean")

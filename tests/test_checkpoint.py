@@ -1,0 +1,119 @@
+"""Unit tests for the CoW block manager and superblock."""
+
+import pytest
+
+from repro.core.checkpoint import (
+    BlockManager,
+    Superblock,
+    frame_superblock,
+    _trim,
+)
+
+MIB = 1 << 20
+
+
+class TestBlockManager:
+    def test_allocate_is_aligned_and_disjoint(self):
+        mgr = BlockManager(64 * MIB)
+        offs = [mgr.allocate(5000) for _ in range(10)]
+        assert all(off % 4096 == 0 for off in offs)
+        assert len(set(offs)) == 10
+
+    def test_relocate_records_exact_length(self):
+        mgr = BlockManager(64 * MIB)
+        mgr.relocate(7, 5000)
+        off, ln = mgr.lookup(7)
+        assert ln == 5000  # exact, not aligned (reads must not pad)
+
+    def test_cow_defers_free_until_commit(self):
+        mgr = BlockManager(64 * MIB)
+        mgr.relocate(1, 4096)
+        old_off, _ = mgr.lookup(1)
+        mgr.relocate(1, 4096)  # CoW rewrite
+        assert mgr.lookup(1)[0] != old_off
+        assert not mgr.free_list  # old extent not yet reusable
+        mgr.commit_checkpoint()
+        assert (old_off, 4096) in mgr.free_list
+
+    def test_freed_extents_are_reused(self):
+        mgr = BlockManager(64 * MIB)
+        mgr.relocate(1, 4096)
+        old_off, _ = mgr.lookup(1)
+        mgr.relocate(1, 4096)
+        mgr.commit_checkpoint()
+        new_off = mgr.allocate(4096)
+        assert new_off == old_off
+
+    def test_drop(self):
+        mgr = BlockManager(64 * MIB)
+        mgr.relocate(3, 8192)
+        mgr.drop(3)
+        assert not mgr.contains(3)
+        mgr.commit_checkpoint()
+        assert mgr.free_list
+
+    def test_out_of_space(self):
+        mgr = BlockManager(16 * 4096)
+        with pytest.raises(RuntimeError):
+            for i in range(100):
+                mgr.allocate(4096)
+
+    def test_serialize_roundtrip(self):
+        mgr = BlockManager(64 * MIB, reserve=8192)
+        for node_id in (1, 5, 9):
+            mgr.relocate(node_id, 4096 * node_id)
+        mgr.relocate(5, 4096)
+        mgr.commit_checkpoint()
+        back = BlockManager.deserialize(mgr.serialize())
+        assert back.table == mgr.table
+        assert back.cursor == mgr.cursor
+        assert back.free_list == mgr.free_list
+
+
+class TestSuperblock:
+    def make(self, generation=3):
+        sb = Superblock()
+        sb.generation = generation
+        sb.checkpoint_lsn = 42
+        sb.log_head = 1000
+        sb.log_tail = 500
+        sb.next_node_id = 77
+        sb.next_msn = 99
+        sb.root_ids = [10, 11]
+        sb.block_tables = [b"table-a", b"table-b"]
+        sb.clean_shutdown = True
+        return sb
+
+    def test_roundtrip(self):
+        sb = self.make()
+        back = Superblock.deserialize(sb.serialize())
+        assert back.generation == 3
+        assert back.checkpoint_lsn == 42
+        assert back.log_head == 1000 and back.log_tail == 500
+        assert back.root_ids == [10, 11]
+        assert back.block_tables == [b"table-a", b"table-b"]
+        assert back.clean_shutdown
+
+    def test_corruption_rejected(self):
+        blob = bytearray(self.make().serialize())
+        blob[10] ^= 0xFF
+        assert Superblock.deserialize(bytes(blob)) is None
+
+    def test_load_latest_picks_newest_valid(self):
+        a = frame_superblock(self.make(generation=3).serialize())
+        b = frame_superblock(self.make(generation=7).serialize())
+        picked = Superblock.load_latest(a, b)
+        assert picked.generation == 7
+        # Corrupt the newer slot: falls back to the older.
+        b = bytearray(b)
+        b[20] ^= 0xFF
+        picked = Superblock.load_latest(a, bytes(b))
+        assert picked.generation == 3
+
+    def test_load_latest_both_bad(self):
+        assert Superblock.load_latest(b"\x00" * 64, b"junk") is None
+
+    def test_frame_and_trim(self):
+        blob = self.make().serialize()
+        framed = frame_superblock(blob) + b"\x00" * 128  # slot padding
+        assert _trim(framed) == blob

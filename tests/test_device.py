@@ -1,0 +1,177 @@
+"""Unit tests for the simulated block device and extent store."""
+
+import pytest
+
+from repro.device.block import BlockDevice, ExtentStore
+from repro.device.clock import SimClock
+from repro.model.profiles import COMMODITY_HDD, COMMODITY_SSD, NULL_DEVICE
+
+
+class TestExtentStore:
+    def test_roundtrip(self):
+        store = ExtentStore()
+        store.write(0, b"hello")
+        assert store.read(0, 5) == b"hello"
+
+    def test_holes_read_as_zero(self):
+        store = ExtentStore()
+        store.write(10, b"xy")
+        assert store.read(8, 6) == b"\x00\x00xy\x00\x00"
+
+    def test_overwrite_exact(self):
+        store = ExtentStore()
+        store.write(0, b"aaaa")
+        store.write(0, b"bbbb")
+        assert store.read(0, 4) == b"bbbb"
+
+    def test_overwrite_partial_head(self):
+        store = ExtentStore()
+        store.write(0, b"aaaaaaaa")
+        store.write(0, b"bb")
+        assert store.read(0, 8) == b"bbaaaaaa"
+
+    def test_overwrite_partial_tail(self):
+        store = ExtentStore()
+        store.write(0, b"aaaaaaaa")
+        store.write(6, b"bb")
+        assert store.read(0, 8) == b"aaaaaabb"
+
+    def test_overwrite_middle_splits(self):
+        store = ExtentStore()
+        store.write(0, b"aaaaaaaa")
+        store.write(3, b"bb")
+        assert store.read(0, 8) == b"aaabbaaa"
+        assert store.extent_count() == 3
+
+    def test_write_spanning_multiple_extents(self):
+        store = ExtentStore()
+        store.write(0, b"aa")
+        store.write(4, b"bb")
+        store.write(8, b"cc")
+        store.write(1, b"zzzzzzzz")
+        assert store.read(0, 10) == b"azzzzzzzzc"
+
+    def test_read_assembles_across_extents(self):
+        store = ExtentStore()
+        store.write(0, b"ab")
+        store.write(2, b"cd")
+        assert store.read(0, 4) == b"abcd"
+
+    def test_discard(self):
+        store = ExtentStore()
+        store.write(0, b"abcdef")
+        store.discard(2, 2)
+        assert store.read(0, 6) == b"ab\x00\x00ef"
+
+    def test_stored_bytes(self):
+        store = ExtentStore()
+        store.write(0, b"abc")
+        store.write(100, b"de")
+        assert store.stored_bytes() == 5
+
+    def test_empty_read(self):
+        store = ExtentStore()
+        assert store.read(5, 0) == b""
+        assert store.read(0, 4) == b"\x00" * 4
+
+
+class TestBlockDeviceTiming:
+    def make(self, profile=COMMODITY_SSD):
+        clock = SimClock()
+        return BlockDevice(clock, profile), clock
+
+    def test_sequential_write_is_bandwidth_bound(self):
+        dev, clock = self.make()
+        data = b"x" * (1 << 20)
+        for i in range(8):
+            dev.write(i * len(data), data)
+        # 8 MiB at ~502 MB/s (inside the write cache) ~ 16.7 ms.
+        assert 0.010 < clock.now < 0.030
+
+    def test_random_writes_pay_latency(self):
+        dev, clock = self.make()
+        for i in range(10):
+            dev.write(i * (1 << 24), b"y" * 4096)
+        assert clock.now >= 10 * COMMODITY_SSD.rand_write_lat
+
+    def test_write_cache_cliff(self):
+        from repro.model.profiles import scaled_profile
+
+        profile = scaled_profile(COMMODITY_SSD, 1.0 / 4096.0)  # ~3 MiB cache
+        dev, clock = self.make(profile)
+        chunk = b"z" * (1 << 20)
+        t0 = clock.now
+        dev.write(0, chunk)
+        fast = clock.now - t0
+        # The cache fills at the *difference* between burst and drain
+        # rates, so saturating ~3 MiB of cache takes ~15 MiB of stream.
+        for i in range(1, 24):
+            dev.write(i * len(chunk), chunk)
+        t0 = clock.now
+        dev.write(24 * len(chunk), chunk)
+        slow = clock.now - t0
+        assert slow > fast
+
+    def test_multi_stream_sequential_detection(self):
+        dev, clock = self.make()
+        # Two interleaved append streams must both count as sequential.
+        a, b = 0, 1 << 30
+        for i in range(4):
+            dev.write(a, b"p" * 4096)
+            a += 4096
+            dev.write(b, b"q" * 4096)
+            b += 4096
+        assert dev.stats.seq_writes >= 6  # all but the two stream heads
+
+    def test_async_read_overlaps_cpu(self):
+        dev, clock = self.make()
+        dev.write(0, b"d" * (4 << 20))
+        completion = dev.submit_read(0, 4 << 20)
+        # CPU work while the device transfers.
+        clock.cpu(0.004)
+        t0 = clock.now
+        dev.wait(completion)
+        stall = clock.now - t0
+        # Most of the ~7 ms transfer was hidden behind the 4 ms of CPU.
+        assert stall < 0.006
+
+    def test_flush_advances_clock(self):
+        dev, clock = self.make()
+        dev.write(0, b"x" * 4096)
+        t0 = clock.now
+        dev.flush()
+        assert clock.now > t0
+        assert dev.stats.flushes == 1
+
+    def test_null_device_is_free(self):
+        dev, clock = self.make(NULL_DEVICE)
+        dev.write(0, b"x" * (1 << 20))
+        dev.read(0, 1 << 20)
+        assert clock.now < 1e-9
+
+    def test_hdd_seeks_dominate(self):
+        dev, clock = self.make(COMMODITY_HDD)
+        for i in range(5):
+            dev.write(i * (1 << 26), b"x" * 4096)
+        assert clock.now >= 5 * COMMODITY_HDD.rand_write_lat
+
+    def test_crash_image_preserves_bytes(self):
+        dev, _clock = self.make()
+        dev.write(123, b"persisted")
+        twin = dev.crash_image()
+        assert twin.store.read(123, 9) == b"persisted"
+        # The image is independent.
+        twin.store.write(123, b"xxxxxxxxx")
+        assert dev.store.read(123, 9) == b"persisted"
+
+    def test_stats_accounting(self):
+        dev, _ = self.make()
+        dev.write(0, b"x" * 4096)
+        dev.read(0, 4096)
+        s = dev.stats
+        assert s.writes == 1 and s.reads == 1
+        assert s.bytes_written == 4096 and s.bytes_read == 4096
+        snap = s.snapshot()
+        dev.read(4096, 4096)
+        delta = s.delta(snap)
+        assert delta.reads == 1 and delta.writes == 0

@@ -1,0 +1,213 @@
+"""Crash-consistency and checkpointing tests for the KV environment."""
+
+import pytest
+
+from repro.core.config import BeTreeConfig
+from repro.core.env import DATA, META, KVEnv
+from repro.core.messages import PageFrame, value_bytes
+from repro.device.block import BlockDevice
+from repro.device.clock import SimClock
+from repro.kmem.allocator import KernelAllocator
+from repro.model.costs import CostModel
+from repro.model.profiles import COMMODITY_SSD
+from repro.storage.sfl import SimpleFileLayer
+
+MIB = 1 << 20
+
+
+def small_cfg(**over):
+    cfg = BeTreeConfig()
+    cfg.node_size = 8192
+    cfg.basement_size = 2048
+    cfg.buffer_size = 4096
+    cfg.fanout = 4
+    cfg.cache_bytes = 1 << 20
+    for k, v in over.items():
+        setattr(cfg, k, v)
+    return cfg
+
+
+def make_env(cfg=None, **kwargs):
+    clock = SimClock()
+    device = BlockDevice(clock, COMMODITY_SSD)
+    costs = CostModel()
+    alloc = KernelAllocator(clock, costs)
+    storage = SimpleFileLayer(device, costs, log_size=8 * MIB, meta_size=64 * MIB)
+    env = KVEnv(
+        storage,
+        clock,
+        costs,
+        alloc,
+        cfg or small_cfg(),
+        log_size=8 * MIB,
+        meta_size=64 * MIB,
+        data_size=256 * MIB,
+        **kwargs,
+    )
+    return env, device
+
+
+def reopen(device, cfg=None, **kwargs):
+    image = device.crash_image()
+    costs = CostModel()
+    alloc = KernelAllocator(image.clock, costs)
+    storage = SimpleFileLayer(image, costs, log_size=8 * MIB, meta_size=64 * MIB)
+    return KVEnv.open(
+        storage,
+        image.clock,
+        costs,
+        alloc,
+        cfg or small_cfg(),
+        log_size=8 * MIB,
+        meta_size=64 * MIB,
+        data_size=256 * MIB,
+        **kwargs,
+    )
+
+
+class TestCheckpointRecovery:
+    def test_recover_from_checkpoint(self):
+        env, device = make_env()
+        for i in range(500):
+            env.insert(META, b"k%03d" % i, b"v%03d" % i)
+        env.checkpoint()
+        env2 = reopen(device)
+        for i in range(0, 500, 37):
+            assert env2.get(META, b"k%03d" % i) == b"v%03d" % i
+
+    def test_recover_replays_log_after_checkpoint(self):
+        env, device = make_env()
+        for i in range(100):
+            env.insert(META, b"a%03d" % i, b"old")
+        env.checkpoint()
+        for i in range(100):
+            env.insert(META, b"b%03d" % i, b"new")
+        env.delete(META, b"a000")
+        env.range_delete(META, b"a050", b"a060")
+        env.patch(META, b"a070", 0, b"PAT")
+        env.sync()
+        env2 = reopen(device)
+        assert env2.recovered_entries > 0
+        assert env2.get(META, b"b042") == b"new"
+        assert env2.get(META, b"a000") is None
+        assert env2.get(META, b"a055") is None
+        assert env2.get(META, b"a070")[:3] == b"PAT"
+
+    def test_unsynced_tail_may_be_lost_but_prefix_survives(self):
+        env, device = make_env()
+        env.insert(META, b"durable", b"yes")
+        env.sync()
+        env.insert(META, b"volatile", b"maybe")  # never flushed
+        env2 = reopen(device)
+        assert env2.get(META, b"durable") == b"yes"
+        # The unsynced suffix is allowed to be lost; it must not
+        # corrupt anything.
+        assert env2.get(META, b"volatile") in (None, b"maybe")
+
+    def test_clean_shutdown_skips_replay(self):
+        env, device = make_env()
+        env.insert(META, b"k", b"v")
+        env.close()
+        env2 = reopen(device)
+        assert env2.recovered_entries == 0
+        assert env2.get(META, b"k") == b"v"
+
+    def test_superblock_ping_pong_survives_torn_checkpoint(self):
+        env, device = make_env()
+        env.insert(META, b"k", b"gen1")
+        env.checkpoint()
+        env.insert(META, b"k", b"gen2")
+        env.checkpoint()
+        # Corrupt the most recent superblock slot.
+        from repro.core.checkpoint import Superblock
+
+        slot = env._sb_generation % 2
+        base = slot * Superblock.SLOT_SIZE
+        device.store.write(base + 8 * MIB * 0 + 100, b"\xde\xad")  # in superblock region
+        # (superblock file starts at SFL offset 0)
+        env2 = reopen(device)
+        # Falls back to the previous checkpoint; log replay reapplies.
+        assert env2.get(META, b"k") in (b"gen1", b"gen2")
+
+    def test_fresh_device_opens_empty(self):
+        clock = SimClock()
+        device = BlockDevice(clock, COMMODITY_SSD)
+        env = reopen(device)
+        assert env.get(META, b"anything") is None
+        env.insert(META, b"k", b"v")
+        assert env.get(META, b"k") == b"v"
+
+
+class TestElidedValueLogging:
+    def test_sync_escalates_to_checkpoint_for_elided_pages(self):
+        env, device = make_env(log_page_values=False)
+        # A short burst stays value-logged; a bulk stream elides.
+        for i in range(80):
+            env.insert(DATA, b"f\x00" + bytes([i]), PageFrame(b"\x7a" * 4096))
+        assert env._elided_volatile
+        before = env.checkpoints
+        env.sync()
+        assert env.checkpoints == before + 1
+        assert not env._elided_volatile
+
+    def test_small_bursts_are_value_logged(self):
+        env, device = make_env(log_page_values=False)
+        env.insert(DATA, b"g\x00\x01", PageFrame(b"\x11" * 4096))
+        assert not env._elided_volatile
+        before = env.checkpoints
+        env.sync()  # plain log flush, no escalation
+        assert env.checkpoints == before
+        env2 = reopen(device, log_page_values=False)
+        assert value_bytes(env2.get(DATA, b"g\x00\x01")) == b"\x11" * 4096
+
+    def test_elided_pages_survive_crash_after_sync(self):
+        env, device = make_env(log_page_values=False)
+        for i in range(20):
+            env.insert(DATA, b"f\x00" + bytes([i]), PageFrame(bytes([i]) * 4096))
+        env.sync()
+        env2 = reopen(device, log_page_values=False)
+        for i in range(20):
+            got = env2.get(DATA, b"f\x00" + bytes([i]))
+            assert value_bytes(got) == bytes([i]) * 4096
+        assert env2.recovery_lost == 0
+
+    def test_value_logged_mode_replays_pages_from_log(self):
+        env, device = make_env(log_page_values=True)
+        env.checkpoint()
+        env.insert(DATA, b"g\x00\x01", PageFrame(b"\x11" * 4096))
+        env.sync()  # log flush only; page value is in the log
+        env2 = reopen(device, log_page_values=True)
+        assert value_bytes(env2.get(DATA, b"g\x00\x01")) == b"\x11" * 4096
+
+    def test_metadata_sync_stays_cheap(self):
+        env, device = make_env(log_page_values=False)
+        env.insert(META, b"k", b"v")
+        before = env.checkpoints
+        env.sync()
+        assert env.checkpoints == before  # no escalation for small values
+
+
+class TestHousekeeping:
+    def test_periodic_checkpoint_by_sim_time(self):
+        cfg = small_cfg(checkpoint_period=0.001)
+        env, device = make_env(cfg)
+        before = env.checkpoints
+        for i in range(3000):
+            env.insert(META, b"k%05d" % i, b"v" * 64)
+        assert env.checkpoints > before
+
+    def test_log_full_forces_checkpoint(self):
+        env, device = make_env()
+        env.wal.region_size = 128 * 1024  # shrink the circular region
+        before = env.checkpoints
+        for i in range(3000):
+            env.insert(META, b"k%05d" % i, b"v" * 64)
+        assert env.checkpoints > before
+
+    def test_cache_stays_within_budget(self):
+        cfg = small_cfg(cache_bytes=64 * 1024)
+        env, device = make_env(cfg)
+        for i in range(4000):
+            env.insert(META, b"key%05d" % i, b"value" * 10)
+        assert env.cache.memory_used() <= cfg.cache_bytes * 1.5
+        assert env.cache.evictions > 0

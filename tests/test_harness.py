@@ -1,0 +1,128 @@
+"""Tests for the experiment harness (classification, rendering, CLI)."""
+
+import dataclasses
+import json
+import os
+
+import pytest
+
+from repro.harness.compleat import Classification, classify, column_best, is_compleat
+from repro.harness.paperdata import COLUMNS, HIGHER_IS_BETTER, PAPER_TABLE3
+from repro.harness.runner import (
+    MICROBENCHES,
+    TABLE1_SYSTEMS,
+    TABLE3_SYSTEMS,
+    make_mount,
+    run_micro,
+)
+from repro.harness.tables import render_table, render_vs_paper
+from repro.workloads.scale import SMOKE_SCALE
+
+TINY = dataclasses.replace(
+    SMOKE_SCALE,
+    seq_bytes=2 << 20,
+    rand_file_bytes=2 << 20,
+    rand_ops=64,
+    toku_files=200,
+    tree_files=50,
+    tree_bytes=1 << 20,
+)
+
+
+class TestCompleatMetric:
+    def test_throughput_classification(self):
+        assert classify(100, 100, True) is Classification.GREEN
+        assert classify(86, 100, True) is Classification.GREEN
+        assert classify(84, 100, True) is Classification.PLAIN
+        assert classify(29, 100, True) is Classification.RED
+        assert classify(31, 100, True) is Classification.PLAIN
+
+    def test_latency_classification(self):
+        assert classify(1.0, 1.0, False) is Classification.GREEN
+        assert classify(1.14, 1.0, False) is Classification.GREEN
+        assert classify(3.0, 1.0, False) is Classification.PLAIN
+        assert classify(3.5, 1.0, False) is Classification.RED
+
+    def test_none_is_plain(self):
+        assert classify(None, 100, True) is Classification.PLAIN
+
+    def test_column_best(self):
+        col = {"a": 5.0, "b": 9.0, "c": None}
+        assert column_best(col, True) == 9.0
+        assert column_best(col, False) == 5.0
+
+    def test_paper_table_shading_reproduced(self):
+        """The paper's own numbers must classify as the paper shades
+        them: every baseline has a red cell, v0.6 has none."""
+        rows = PAPER_TABLE3
+        systems = [s for s in rows if s != "BetrFS v0.6"]
+        for baseline in ("ext4", "btrfs", "xfs", "f2fs", "zfs", "BetrFS v0.4"):
+            assert not is_compleat(
+                {s: rows[s] for s in systems}, baseline, HIGHER_IS_BETTER
+            ), baseline
+        assert is_compleat(
+            {s: rows[s] for s in systems}, "+QRY", HIGHER_IS_BETTER
+        )
+
+
+class TestRendering:
+    def test_render_contains_all_systems_and_columns(self):
+        text = render_vs_paper(PAPER_TABLE3, TABLE3_SYSTEMS, "t")
+        for system in TABLE3_SYSTEMS:
+            assert system in text
+        for header in ("SeqRd", "Toku", "grep"):
+            assert header in text
+
+    def test_render_marks(self):
+        text = render_table(PAPER_TABLE3, TABLE3_SYSTEMS, "t")
+        assert "!" in text  # red cells exist
+        assert "+" in text  # green cells exist
+
+
+class TestRunner:
+    def test_make_mount_dispatch(self):
+        assert make_mount("ext4", TINY).name == "ext4"
+        assert make_mount("BetrFS v0.6", TINY).name == "BetrFS v0.6"
+        with pytest.raises(KeyError):
+            make_mount("reiserfs", TINY)
+
+    def test_all_table_systems_mountable(self):
+        for system in set(TABLE1_SYSTEMS + TABLE3_SYSTEMS):
+            make_mount(system, TINY)
+
+    def test_run_micro_subset(self):
+        out = run_micro("ext4", TINY, only=["seq"])
+        assert set(out) == {"seq_read", "seq_write"}
+        assert all(v > 0 for v in out.values())
+
+    def test_microbench_registry_covers_all_columns(self):
+        produced = set()
+        for bench in MICROBENCHES:
+            if bench == "seq":
+                produced |= {"seq_read", "seq_write"}
+            else:
+                produced.add(bench)
+        assert produced == set(COLUMNS)
+
+
+class TestCLI:
+    def test_cli_table1_smoke(self, tmp_path, capsys):
+        from repro.harness.__main__ import main
+
+        rc = main(
+            [
+                "table1",
+                "--scale",
+                "smoke",
+                "--systems",
+                "ext4",
+                "--quiet",
+                "--out",
+                str(tmp_path),
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "ext4" in out
+        data = json.loads((tmp_path / "results.json").read_text())
+        assert "ext4" in data["tables"]

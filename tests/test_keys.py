@@ -1,0 +1,117 @@
+"""Unit and property tests for key encoding and prefix ranges."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import keys
+
+
+class TestKeyConstruction:
+    def test_meta_key(self):
+        assert keys.meta_key("/a/b") == b"/a/b"
+
+    def test_data_key_sorts_by_block(self):
+        k1 = keys.data_key("/f", 1)
+        k2 = keys.data_key("/f", 2)
+        k300 = keys.data_key("/f", 300)
+        assert k1 < k2 < k300
+
+    def test_data_key_roundtrip(self):
+        k = keys.data_key("/some/path", 77)
+        assert keys.data_key_block(k) == 77
+        assert keys.data_key_path(k) == "/some/path"
+
+    def test_file_blocks_between_meta_entries(self):
+        """(path, block) tuples never collide with other paths."""
+        k = keys.data_key("/a/b", 0)
+        assert keys.meta_key("/a/b") < k < keys.meta_key("/a/b!")
+
+
+class TestPrefixRanges:
+    def test_successor_simple(self):
+        assert keys.prefix_successor(b"/a/") == b"/a0"
+
+    def test_successor_trailing_ff(self):
+        assert keys.prefix_successor(b"/a\xff") == b"/b"
+
+    def test_subtree_range_covers_descendants(self):
+        lo, hi = keys.dir_subtree_range("/a/b")
+        assert lo <= keys.meta_key("/a/b/c") < hi
+        assert lo <= keys.meta_key("/a/b/c/d/e") < hi
+
+    def test_subtree_range_excludes_dir_itself_and_siblings(self):
+        lo, hi = keys.dir_subtree_range("/a/b")
+        assert not (lo <= keys.meta_key("/a/b") < hi)
+        assert not (lo <= keys.meta_key("/a/bz") < hi)
+        assert not (lo <= keys.meta_key("/a/c") < hi)
+
+    def test_file_blocks_range(self):
+        lo, hi = keys.file_blocks_range("/f")
+        for block in (0, 1, 1000, 2**31):
+            assert lo <= keys.data_key("/f", block) < hi
+        assert not (lo <= keys.data_key("/f2", 0) < hi)
+
+    def test_is_direct_child(self):
+        assert keys.is_direct_child("/a", "/a/b")
+        assert not keys.is_direct_child("/a", "/a/b/c")
+        assert not keys.is_direct_child("/a", "/ab")
+        assert keys.is_direct_child("/", "/x")  # root's children
+
+
+class TestRangeHelpers:
+    def test_in_range(self):
+        assert keys.in_range(b"b", b"a", b"c")
+        assert not keys.in_range(b"c", b"a", b"c")
+        assert keys.in_range(b"z", b"a", None)
+
+    def test_overlap_and_cover(self):
+        assert keys.ranges_overlap(b"a", b"c", b"b", b"d")
+        assert not keys.ranges_overlap(b"a", b"b", b"b", b"c")
+        assert keys.range_covers(b"a", b"z", b"b", b"c")
+        assert not keys.range_covers(b"b", b"c", b"a", b"z")
+
+    def test_common_prefix(self):
+        assert keys.common_prefix(b"/a/b", b"/a/c") == b"/a/"
+        assert keys.common_prefix_of([b"/x/1", b"/x/2", b"/x/3"]) == b"/x/"
+        assert keys.common_prefix_of([]) == b""
+
+
+# ----------------------------------------------------------------------
+# Properties
+# ----------------------------------------------------------------------
+printable_path = st.text(
+    alphabet=st.characters(min_codepoint=33, max_codepoint=126, exclude_characters="/"),
+    min_size=1,
+    max_size=8,
+)
+
+
+@given(st.binary(min_size=1, max_size=16))
+def test_prefix_successor_is_upper_bound(prefix):
+    succ = keys.prefix_successor(prefix)
+    assert succ > prefix
+    # Anything with this prefix sorts strictly below the successor.
+    assert prefix + b"\xff" * 4 < succ or succ.startswith(prefix) is False
+
+
+@given(st.binary(min_size=1, max_size=12), st.binary(min_size=0, max_size=6))
+def test_prefix_range_contains_exactly_prefixed_keys(prefix, suffix):
+    lo, hi = keys.prefix_range(prefix)
+    key = prefix + suffix
+    assert lo <= key < hi
+
+
+@given(st.lists(printable_path, min_size=1, max_size=4), printable_path)
+def test_subtree_range_property(components, extra):
+    path = "/" + "/".join(components)
+    lo, hi = keys.dir_subtree_range(path)
+    child = path + "/" + extra
+    assert lo <= keys.meta_key(child) < hi
+    sibling = path + "0"  # '0' > '/' so it sorts outside the subtree
+    assert not (lo <= keys.meta_key(sibling) < hi)
+
+
+@given(st.lists(st.binary(min_size=1, max_size=10), min_size=1, max_size=20))
+def test_common_prefix_of_is_common(keys_list):
+    prefix = keys.common_prefix_of(keys_list)
+    assert all(k.startswith(prefix) for k in keys_list)

@@ -1,0 +1,135 @@
+"""Unit tests for the kernel memory-allocation model (§5)."""
+
+from repro.device.clock import SimClock
+from repro.kmem.allocator import KMALLOC_MAX, KernelAllocator
+from repro.kmem.coop import BIMODAL_TARGET, BIMODAL_THRESHOLD, CooperativeAllocator
+from repro.model.costs import CostModel
+
+
+def make(coop=False):
+    clock = SimClock()
+    costs = CostModel()
+    cls = CooperativeAllocator if coop else KernelAllocator
+    return cls(clock, costs), clock, costs
+
+
+class TestBaselineAllocator:
+    def test_small_allocations_use_kmalloc(self):
+        alloc, _, _ = make()
+        buf = alloc.alloc(1024)
+        assert not buf.vmalloced
+        assert alloc.stats.kmallocs == 1
+
+    def test_large_allocations_use_vmalloc(self):
+        alloc, clock, costs = make()
+        # Exhaust the baseline 128 KiB point-fix cache first.
+        bufs = [alloc.alloc(KMALLOC_MAX + 1) for _ in range(64)]
+        assert any(b.vmalloced for b in bufs)
+        assert alloc.stats.vmallocs > 0
+
+    def test_vmalloc_charges_mapping_and_shootdown(self):
+        alloc, clock, costs = make()
+        for _ in range(64):  # drain the point-fix cache
+            alloc.alloc(1 << 20)
+        t0 = clock.now
+        alloc.alloc(1 << 20)
+        assert clock.now - t0 >= costs.vmalloc(1 << 20) * 0.99
+
+    def test_free_without_size_pays_lookup(self):
+        alloc, clock, costs = make()
+        bufs = [alloc.alloc(1 << 20) for _ in range(40)]
+        t0 = clock.now
+        alloc.free(bufs[-1])
+        assert clock.now - t0 >= costs.vfree(size_known=False) * 0.99
+        assert alloc.stats.size_lookups >= 1
+
+    def test_grow_doubling_copies_repeatedly(self):
+        alloc, _, _ = make()
+        buf = alloc.alloc(4096)
+        buf = alloc.grow_doubling(buf, 64 * 1024, used=4096)
+        assert buf.capacity >= 64 * 1024
+        # Four doublings, each a realloc with a copy.
+        assert alloc.stats.reallocs >= 4
+        assert alloc.stats.realloc_copy_bytes > 0
+
+    def test_live_byte_tracking(self):
+        alloc, _, _ = make()
+        a = alloc.alloc(1000)
+        b = alloc.alloc(2000)
+        assert alloc.stats.live_bytes == a.capacity + b.capacity
+        alloc.free(a)
+        assert alloc.stats.live_bytes == b.capacity
+        assert alloc.stats.peak_bytes >= 3000
+
+    def test_baseline_cache_recycles_128k(self):
+        alloc, _, _ = make()
+        buf = alloc.alloc(128 * 1024)
+        assert buf.vmalloced and alloc.stats.cache_hits == 1
+        alloc.free(buf)
+        buf2 = alloc.alloc(128 * 1024)
+        assert alloc.stats.cache_hits == 2
+
+    def test_suggested_capacity_is_exact(self):
+        alloc, _, _ = make()
+        assert alloc.suggested_capacity(12345) == 12345
+
+
+class TestCooperativeAllocator:
+    def test_size_negotiation_bimodal(self):
+        alloc, _, _ = make(coop=True)
+        assert alloc.suggested_capacity(BIMODAL_THRESHOLD) == BIMODAL_TARGET
+        assert alloc.suggested_capacity(100) >= 100
+
+    def test_small_sizes_round_to_powers_of_two(self):
+        alloc, _, _ = make(coop=True)
+        cap = alloc.suggested_capacity(9000)
+        assert cap >= 9000
+        assert cap & (cap - 1) == 0  # power of two
+
+    def test_pool_recycling_avoids_vmalloc(self):
+        alloc, _, _ = make(coop=True)
+        buf = alloc.alloc(200 * 1024)
+        before = alloc.stats.vmallocs
+        alloc.free(buf)
+        alloc.alloc(200 * 1024)
+        assert alloc.stats.vmallocs == before  # pool hit, not a vmalloc
+
+    def test_free_with_size_feedback_is_cheap(self):
+        base, base_clock, costs = make(coop=False)
+        coop, coop_clock, _ = make(coop=True)
+        for _ in range(40):  # drain baseline point-fix cache
+            base.alloc(1 << 20)
+        b1 = base.alloc(1 << 20)
+        t0 = base_clock.now
+        base.free(b1)
+        baseline_cost = base_clock.now - t0
+        b2 = coop.alloc(1 << 20)
+        t0 = coop_clock.now
+        coop.free(b2)
+        coop_cost = coop_clock.now - t0
+        assert coop_cost < baseline_cost
+
+    def test_grow_jumps_to_negotiated_size(self):
+        alloc, _, _ = make(coop=True)
+        buf = alloc.alloc(4096)
+        buf = alloc.grow_doubling(buf, 300 * 1024, used=4096)
+        assert buf.capacity >= BIMODAL_TARGET
+        assert alloc.stats.reallocs <= 1
+
+    def test_message_churn_cheaper_than_baseline(self):
+        base, base_clock, costs = make(coop=False)
+        coop, coop_clock, _ = make(coop=True)
+        for _ in range(100):
+            base.note_message(64)
+            coop.note_message(64)
+        assert coop_clock.now < base_clock.now
+
+    def test_bulk_messages_skip_churn(self):
+        base, clock, costs = make(coop=False)
+        t0 = clock.now
+        base.note_message(4096)
+        bulk = clock.now - t0
+        t0 = clock.now
+        base.note_message(64)
+        small = clock.now - t0
+        assert bulk < small

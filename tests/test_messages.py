@@ -1,0 +1,93 @@
+"""Unit tests for message types and page frames."""
+
+import pytest
+
+from repro.core.messages import (
+    Delete,
+    Insert,
+    InsertByRef,
+    PageFrame,
+    Patch,
+    RangeDelete,
+    release_message,
+    value_bytes,
+    value_len,
+)
+
+
+class TestPageFrame:
+    def test_refcounting(self):
+        frame = PageFrame(b"data")
+        assert frame.refs == 1
+        frame.get()
+        assert frame.refs == 2
+        frame.put()
+        frame.put()
+        assert frame.refs == 0
+        assert not frame.sealed
+
+    def test_insert_by_ref_takes_reference_and_seals(self):
+        frame = PageFrame(b"x" * 4096)
+        msg = InsertByRef(b"k", frame)
+        assert frame.refs == 2
+        assert frame.sealed
+        release_message(msg)
+        assert frame.refs == 1
+
+    def test_value_helpers(self):
+        frame = PageFrame(b"abc")
+        assert value_bytes(frame) == b"abc"
+        assert value_bytes(b"xyz") == b"xyz"
+        assert value_len(frame) == 3
+        assert value_len(None) == 0
+
+
+class TestPatch:
+    def test_apply_to_existing(self):
+        p = Patch(b"k", 2, b"ZZ")
+        assert p.apply_to(b"abcdef") == b"abZZef"
+
+    def test_apply_extends_short_value(self):
+        p = Patch(b"k", 4, b"XY")
+        assert p.apply_to(b"ab") == b"ab\x00\x00XY"
+
+    def test_apply_to_missing_value(self):
+        p = Patch(b"k", 3, b"Q")
+        assert p.apply_to(None) == b"\x00\x00\x00Q"
+
+    def test_apply_is_idempotent(self):
+        p = Patch(b"k", 1, b"mm")
+        once = p.apply_to(b"abcdef")
+        assert p.apply_to(once) == once
+
+
+class TestRangeDelete:
+    def test_empty_range_rejected(self):
+        with pytest.raises(ValueError):
+            RangeDelete(b"b", b"a")
+        with pytest.raises(ValueError):
+            RangeDelete(b"a", b"a")
+
+    def test_covers_and_overlaps(self):
+        rd = RangeDelete(b"b", b"d")
+        assert rd.covers_key(b"b")
+        assert rd.covers_key(b"c")
+        assert not rd.covers_key(b"d")
+        assert rd.covers_range(b"b", b"c")
+        assert not rd.covers_range(b"a", b"c")
+        assert rd.overlaps(b"c", b"z")
+        assert not rd.overlaps(b"d", b"z")
+
+
+class TestSizes:
+    def test_nbytes_monotone_in_value(self):
+        small = Insert(b"key", b"v")
+        big = Insert(b"key", b"v" * 100)
+        assert big.nbytes() > small.nbytes()
+
+    def test_delete_nbytes(self):
+        assert Delete(b"abc").nbytes() == Delete.HEADER + 3
+
+    def test_range_delete_nbytes(self):
+        rd = RangeDelete(b"aa", b"bb")
+        assert rd.nbytes() == RangeDelete.HEADER + 4

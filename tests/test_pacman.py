@@ -1,0 +1,123 @@
+"""Unit tests for the PacMan range-message compaction (§4)."""
+
+from repro.core.messages import Delete, Insert, RangeDelete
+from repro.core.pacman import PacmanStats, compact
+
+
+def run(messages):
+    stats = PacmanStats()
+    kept, comparisons = compact(list(messages), stats)
+    return kept, comparisons, stats
+
+
+class TestGobbling:
+    def test_range_delete_eats_older_point_messages(self):
+        msgs = [
+            Insert(b"/d/a", b"1", msn=1),
+            Insert(b"/d/b", b"2", msn=2),
+            RangeDelete(b"/d/", b"/d0", msn=3),
+        ]
+        kept, _, stats = run(msgs)
+        assert kept == [msgs[2]]
+        assert stats.dropped_points == 2
+
+    def test_newer_point_messages_survive(self):
+        msgs = [
+            RangeDelete(b"/d/", b"/d0", msn=1),
+            Insert(b"/d/a", b"fresh", msn=2),
+        ]
+        kept, _, _ = run(msgs)
+        assert len(kept) == 2
+
+    def test_covered_range_delete_is_dropped(self):
+        msgs = [
+            RangeDelete(b"/d/x/", b"/d/x0", msn=1),
+            RangeDelete(b"/d/", b"/d0", msn=2),
+        ]
+        kept, _, stats = run(msgs)
+        assert kept == [msgs[1]]
+        assert stats.dropped_ranges == 1
+
+    def test_directory_wide_delete_gobbles_children(self):
+        """The §4 scenario: per-file range deletes + a final directory
+        range delete issued last."""
+        msgs = [
+            RangeDelete(b"/d/f1\x00", b"/d/f1\x01", msn=1),
+            RangeDelete(b"/d/f2\x00", b"/d/f2\x01", msn=2),
+            RangeDelete(b"/d/f3\x00", b"/d/f3\x01", msn=3),
+            RangeDelete(b"/d/", b"/d0", msn=4),  # rmdir's coalescer
+        ]
+        kept, _, stats = run(msgs)
+        assert kept == [msgs[3]]
+        assert stats.dropped_ranges == 3
+
+
+class TestPathology:
+    def test_adjacent_non_overlapping_ranges_burn_cpu_for_nothing(self):
+        """The rm -rf pathology: nothing is gobbled, comparisons are
+        quadratic-ish anyway."""
+        msgs = [
+            RangeDelete(b"/d/f%03d\x00" % i, b"/d/f%03d\x01" % i, msn=i + 1)
+            for i in range(20)
+        ]
+        kept, comparisons, stats = run(msgs)
+        assert len(kept) == 20
+        assert stats.dropped_ranges == 0
+        assert comparisons >= 20 * 19  # every range vs every other msg
+
+    def test_no_ranges_means_no_comparisons(self):
+        msgs = [Insert(b"k%d" % i, b"v", msn=i + 1) for i in range(10)]
+        kept, comparisons, _ = run(msgs)
+        assert kept == msgs
+        assert comparisons == 0
+
+
+class TestMergeSafety:
+    def test_overlapping_ranges_merge_when_safe(self):
+        msgs = [
+            RangeDelete(b"a", b"m", msn=1),
+            RangeDelete(b"h", b"z", msn=2),
+        ]
+        kept, _, stats = run(msgs)
+        assert len(kept) == 1
+        assert kept[0].start == b"a" and kept[0].end == b"z"
+        assert stats.merged_ranges == 1
+
+    def test_no_merge_when_intervening_insert(self):
+        """An insert between the two overlapping deletes targets the
+        region only the older delete covers: merging would delete it."""
+        msgs = [
+            RangeDelete(b"a", b"m", msn=1),
+            Insert(b"b", b"survivor", msn=2),
+            RangeDelete(b"h", b"z", msn=3),
+        ]
+        kept, _, _ = run(msgs)
+        # The insert must survive and the old range delete must remain
+        # (un-merged), otherwise replaying would kill the insert.
+        kinds = [m.kind for m in kept]
+        assert "insert" in kinds
+        starts = sorted(m.start for m in kept if m.is_range)
+        assert starts == [b"a", b"h"]
+
+    def test_merge_allowed_when_intervening_msg_fully_covered_by_newer(self):
+        msgs = [
+            RangeDelete(b"a", b"m", msn=1),
+            Insert(b"j", b"doomed", msn=2),  # inside [h, z) of the newer
+            RangeDelete(b"h", b"z", msn=3),
+        ]
+        kept, _, _ = run(msgs)
+        # The insert is gobbled by the newer delete; ranges may merge.
+        assert all(m.kind != "insert" for m in kept)
+
+
+class TestOrderPreservation:
+    def test_survivors_keep_msn_order(self):
+        msgs = [
+            Insert(b"x", b"1", msn=1),
+            RangeDelete(b"a", b"c", msn=2),
+            Insert(b"y", b"2", msn=3),
+            Delete(b"z", msn=4),
+        ]
+        kept, _, _ = run(msgs)
+        msns = [m.msn for m in kept]
+        assert msns == sorted(msns)

@@ -1,0 +1,191 @@
+"""Round-trip and corruption tests for node serialization."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.messages import (
+    Delete,
+    Insert,
+    InsertByRef,
+    PageFrame,
+    Patch,
+    RangeDelete,
+)
+from repro.core.node import InternalNode, LeafNode
+from repro.core.serialize import (
+    ChecksumError,
+    decode_basement,
+    decode_leaf_header,
+    decode_node,
+    serialize_node,
+    verify_crc,
+)
+
+
+def make_leaf(n=30, page_values=False):
+    leaf = LeafNode(7)
+    for i in range(n):
+        if page_values and i % 3 == 0:
+            value = PageFrame(bytes([i % 256]) * 4096)
+        else:
+            value = b"value-%03d" % i
+        leaf.apply(Insert(b"/common/prefix/k%03d" % i, value, msn=i + 1), 2048)
+    return leaf
+
+
+def make_internal():
+    node = InternalNode(9, height=1)
+    node.pivots = [b"/p/g", b"/p/q"]
+    node.children = [100, 101, 102]
+    node.enqueue(Insert(b"/p/a", b"small", msn=1))
+    node.enqueue(Delete(b"/p/h", msn=2))
+    node.enqueue(Patch(b"/p/r", 8, b"patchbytes", msn=3))
+    node.enqueue(RangeDelete(b"/p/b", b"/p/c", msn=4))
+    node.enqueue(Insert(b"/p/z", PageFrame(b"\x5a" * 4096), msn=5))
+    return node
+
+
+def assert_same_pairs(a: LeafNode, b: LeafNode):
+    pa = [(k, bytes(v.data) if isinstance(v, PageFrame) else v, m)
+          for bs in a.basements for k, v, m in bs.items_with_msn()]
+    pb = [(k, bytes(v.data) if isinstance(v, PageFrame) else v, m)
+          for bs in b.basements for k, v, m in bs.items_with_msn()]
+    assert pa == pb
+
+
+@pytest.mark.parametrize("aligned", [False, True])
+@pytest.mark.parametrize("lifting", [False, True])
+class TestLeafRoundtrip:
+    def test_roundtrip(self, aligned, lifting):
+        leaf = make_leaf(page_values=True)
+        ser = serialize_node(leaf, aligned=aligned, lifting=lifting)
+        back = decode_node(ser.data, aligned=aligned)
+        assert isinstance(back, LeafNode)
+        assert back.node_id == 7
+        assert_same_pairs(leaf, back)
+
+    def test_empty_leaf(self, aligned, lifting):
+        leaf = LeafNode(3)
+        ser = serialize_node(leaf, aligned=aligned, lifting=lifting)
+        back = decode_node(ser.data, aligned=aligned)
+        assert back.pair_count() == 0
+
+
+@pytest.mark.parametrize("aligned", [False, True])
+class TestInternalRoundtrip:
+    def test_roundtrip(self, aligned):
+        node = make_internal()
+        ser = serialize_node(node, aligned=aligned, lifting=True)
+        back = decode_node(ser.data, aligned=aligned)
+        assert isinstance(back, InternalNode)
+        assert back.pivots == node.pivots
+        assert back.children == node.children
+        assert len(back.buffer) == len(node.buffer)
+        assert [m.msn for m in back.buffer] == [1, 2, 3, 4, 5]
+        patch = back.buffer[2]
+        assert isinstance(patch, Patch)
+        assert patch.offset == 8 and patch.data == b"patchbytes"
+        rd = back.buffer[3]
+        assert isinstance(rd, RangeDelete)
+        assert (rd.start, rd.end) == (b"/p/b", b"/p/c")
+        page_msg = back.buffer[4]
+        assert bytes(page_msg.value.data) == b"\x5a" * 4096
+
+    def test_insert_by_ref_persists_page_contents(self, aligned):
+        node = InternalNode(4, height=1)
+        node.pivots = []
+        node.children = [1]
+        frame = PageFrame(b"\xab" * 4096)
+        node.enqueue(InsertByRef(b"/k", frame, msn=1))
+        ser = serialize_node(node, aligned=aligned, lifting=True)
+        back = decode_node(ser.data, aligned=aligned)
+        value = back.buffer[0].value
+        assert bytes(value.data if isinstance(value, PageFrame) else value) == b"\xab" * 4096
+
+
+class TestChecksums:
+    def test_corruption_detected(self):
+        leaf = make_leaf()
+        ser = serialize_node(leaf, aligned=False, lifting=True)
+        corrupted = bytearray(ser.data)
+        corrupted[len(corrupted) // 2] ^= 0xFF
+        with pytest.raises(ChecksumError):
+            decode_node(bytes(corrupted), aligned=False)
+
+    def test_verify_crc_ok(self):
+        leaf = make_leaf()
+        ser = serialize_node(leaf, aligned=False, lifting=True)
+        verify_crc(ser.data)  # no raise
+
+
+class TestAlignedLayout:
+    def test_pages_land_on_aligned_offsets(self):
+        leaf = make_leaf(page_values=True)
+        ser = serialize_node(leaf, aligned=True, lifting=True)
+        # Every full page's contents must be locatable at a 4 KiB
+        # boundary in the serialized image.
+        payload = ser.data
+        found = 0
+        for off in range(0, len(payload) - 4096, 4096):
+            chunk = payload[off : off + 4096]
+            if len(set(chunk)) == 1 and chunk[0] != 0:
+                found += 1
+        assert found >= 5
+        assert ser.ref_bytes > 0
+        assert ser.copied_bytes == 0
+
+    def test_packed_layout_reports_copies(self):
+        leaf = make_leaf(page_values=True)
+        ser = serialize_node(leaf, aligned=False, lifting=True)
+        assert ser.copied_bytes > 0
+        assert ser.ref_bytes == 0
+
+
+class TestPartialLeafAccess:
+    def test_header_and_single_basement_decode(self):
+        leaf = make_leaf(50)
+        ser = serialize_node(leaf, aligned=False, lifting=True)
+        header = decode_leaf_header(ser.data[:8192], aligned=False)
+        assert header.node_id == 7
+        assert len(header.basement_extents) == len(leaf.basements)
+        assert header.basement_first_keys[0] == leaf.basements[0].first_key()
+        # Decode just the second basement from its extent slice.
+        off, ln = header.basement_extents[1]
+        basement = decode_basement(
+            ser.data[off : off + ln], header.lift_prefix, aligned=False
+        )
+        assert list(basement.items()) == list(leaf.basements[1].items())
+
+    def test_lifting_shrinks_serialization(self):
+        leaf = make_leaf(40)
+        lifted = serialize_node(leaf, aligned=False, lifting=True)
+        unlifted = serialize_node(leaf, aligned=False, lifting=False)
+        assert len(lifted.data) < len(unlifted.data)
+
+
+# ----------------------------------------------------------------------
+# Property: arbitrary leaves round-trip in both layouts.
+# ----------------------------------------------------------------------
+pairs = st.dictionaries(
+    st.binary(min_size=1, max_size=24),
+    st.one_of(st.binary(max_size=64), st.just(b"\x11" * 4096)),
+    max_size=25,
+)
+
+
+@settings(max_examples=40, deadline=None)
+@given(pairs, st.booleans())
+def test_leaf_roundtrip_property(mapping, aligned):
+    leaf = LeafNode(1)
+    for i, (k, v) in enumerate(sorted(mapping.items())):
+        value = PageFrame(v) if len(v) == 4096 else v
+        leaf.apply(Insert(k, value, msn=i + 1), 1024)
+    ser = serialize_node(leaf, aligned=aligned, lifting=True)
+    back = decode_node(ser.data, aligned=aligned)
+    got = {
+        k: (bytes(v.data) if isinstance(v, PageFrame) else v)
+        for bs in back.basements
+        for k, v in bs.items()
+    }
+    assert got == mapping

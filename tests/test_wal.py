@@ -1,0 +1,142 @@
+"""Unit tests for the write-ahead log."""
+
+import struct
+import zlib
+
+from repro.core.wal import (
+    OP_DELETE,
+    OP_INSERT,
+    OP_PATCH,
+    OP_RANGE_DELETE,
+    WriteAheadLog,
+    decode_payload,
+    encode_payload,
+)
+from repro.device.block import BlockDevice
+from repro.device.clock import SimClock
+from repro.model.costs import CostModel
+from repro.model.profiles import NULL_DEVICE
+from repro.storage.sfl import SimpleFileLayer
+
+MIB = 1 << 20
+
+
+def make_wal(log_size=4 * MIB, section=1 * MIB):
+    clock = SimClock()
+    device = BlockDevice(clock, NULL_DEVICE)
+    costs = CostModel()
+    storage = SimpleFileLayer(device, costs, log_size=log_size, meta_size=16 * MIB)
+    return WriteAheadLog(storage, costs, section), storage, device
+
+
+class TestEncoding:
+    def test_payload_roundtrip(self):
+        payload = encode_payload(OP_PATCH, 1, b"key", b"value", 42, b"aux")
+        entry = decode_payload(7, OP_PATCH, payload)
+        assert entry.lsn == 7
+        assert entry.tree_id == 1
+        assert entry.key == b"key"
+        assert entry.value == b"value"
+        assert entry.aux == 42
+        assert entry.aux2 == b"aux"
+
+
+class TestAppendFlushScan:
+    def test_lsns_are_sequential(self):
+        wal, _, _ = make_wal()
+        lsns = [wal.append(OP_INSERT, 0, b"k%d" % i, b"v") for i in range(5)]
+        assert lsns == [1, 2, 3, 4, 5]
+
+    def test_flush_then_scan(self):
+        wal, storage, _ = make_wal()
+        for i in range(10):
+            wal.append(OP_INSERT, 0, b"k%d" % i, b"v%d" % i)
+        wal.flush(durable=True)
+        raw = storage.read("log", 0, storage.file_size("log"))
+        entries, end = WriteAheadLog.scan(raw, 0, 1)
+        assert [e.lsn for e in entries] == list(range(1, 11))
+        assert entries[3].key == b"k3"
+        assert end == wal.head
+
+    def test_scan_min_lsn_filter(self):
+        wal, storage, _ = make_wal()
+        for i in range(10):
+            wal.append(OP_DELETE, 0, b"k%d" % i)
+        wal.flush()
+        raw = storage.read("log", 0, storage.file_size("log"))
+        entries, _ = WriteAheadLog.scan(raw, 0, 6)
+        assert [e.lsn for e in entries] == [6, 7, 8, 9, 10]
+
+    def test_scan_stops_at_corruption(self):
+        wal, storage, device = make_wal()
+        for i in range(6):
+            wal.append(OP_INSERT, 0, b"k%d" % i, b"v")
+        wal.flush()
+        raw = bytearray(storage.read("log", 0, storage.file_size("log")))
+        # Corrupt the 4th entry's payload.
+        entries, _ = WriteAheadLog.scan(bytes(raw), 0, 1)
+        # Find entry 4's offset by re-scanning incrementally.
+        ok3, off = WriteAheadLog.scan(bytes(raw), 0, 1)[0], None
+        # Cheap approach: flip a byte 3/6 of the way into the used log.
+        used = wal.head
+        raw[used // 2] ^= 0xFF
+        survivors, _ = WriteAheadLog.scan(bytes(raw), 0, 1)
+        assert 0 < len(survivors) < 6
+
+    def test_wraparound_scan(self):
+        wal, storage, _ = make_wal(log_size=64 * 1024, section=16 * 1024)
+        checkpoints = []
+        wal.on_full = lambda: checkpoints.append(True)
+        big = b"x" * 1000
+        total = 0
+        # Write enough entries to wrap; keep moving the tail forward
+        # like checkpoints would.
+        for i in range(200):
+            wal.append(OP_INSERT, 0, b"key%03d" % i, big)
+            wal.flush(durable=False)
+            wal.truncate(wal.next_lsn - 1, wal.head)
+        raw = storage.read("log", 0, storage.file_size("log"))
+        # Scanning from the recorded head hint with a high min_lsn
+        # returns nothing but does not crash/mis-parse.
+        entries, _ = WriteAheadLog.scan(raw, wal.head, wal.next_lsn)
+        assert entries == []
+
+    def test_entries_straddling_wrap_are_recovered(self):
+        size = 64 * 1024
+        wal, storage, _ = make_wal(log_size=size, section=16 * 1024)
+        # Position the head near the end, then write entries across it.
+        wal.head = size - 700
+        wal.tail = wal.head
+        for i in range(3):
+            wal.append(OP_INSERT, 0, b"wrapkey%d" % i, b"w" * 400)
+        wal.flush(durable=False)
+        raw = storage.read("log", 0, size)
+        entries, end = WriteAheadLog.scan(raw, size - 700, 1)
+        assert [e.key for e in entries] == [b"wrapkey0", b"wrapkey1", b"wrapkey2"]
+
+
+class TestSectionsAndPinning:
+    def test_pin_blocks_tail_advance(self):
+        wal, _, _ = make_wal(log_size=4 * MIB, section=64 * 1024)
+        wal.append(OP_INSERT, 0, b"a", b"v")
+        section = wal.current_section()
+        wal.pin_section(section)
+        wal.flush(durable=False)
+        head_after = wal.head
+        wal.truncate(wal.next_lsn - 1, head_after)
+        # The pinned section holds the tail at (or before) its start.
+        assert wal.tail <= section * wal.section_size
+        wal.unpin_section(section)
+        wal.truncate(wal.next_lsn - 1, head_after)
+        assert wal.tail == head_after
+
+    def test_on_full_invoked(self):
+        calls = []
+        wal, _, _ = make_wal(log_size=32 * 1024, section=8 * 1024)
+        wal.on_full = lambda: calls.append(1) or wal.truncate(
+            wal.next_lsn - 1, wal.head
+        )
+        for i in range(40):
+            wal.append(OP_RANGE_DELETE, 0, b"a%03d" % i, b"b" * 900)
+            wal.flush(durable=False)
+        assert calls

@@ -1,0 +1,151 @@
+"""Sanity tests for workload drivers (run at tiny scale)."""
+
+import dataclasses
+
+import pytest
+
+from repro.harness.runner import make_mount
+from repro.workloads import (
+    SMOKE_SCALE,
+    find_tree,
+    git_clone,
+    git_diff,
+    grep_tree,
+    linux_like_tree,
+    mailserver,
+    random_write_4b,
+    random_write_4k,
+    rm_rf,
+    rsync_copy,
+    seq_read,
+    seq_write,
+    tar_tree,
+    tokubench,
+    untar_tree,
+)
+from repro.workloads.filebench import (
+    filebench_fileserver,
+    filebench_oltp,
+    filebench_webproxy,
+    filebench_webserver,
+)
+from repro.workloads.gitops import setup_git_repo
+from repro.workloads.trees import build_tree, file_content, GREP_NEEDLE
+
+TINY = dataclasses.replace(
+    SMOKE_SCALE,
+    seq_bytes=2 << 20,
+    rand_file_bytes=2 << 20,
+    rand_ops=64,
+    toku_files=300,
+    tree_files=60,
+    tree_bytes=1 << 20,
+    mail_folders=2,
+    mail_msgs_per_folder=8,
+    mail_ops=60,
+    filebench_ops=80,
+)
+
+
+class TestTreeSpec:
+    def test_plan_counts(self):
+        spec = linux_like_tree("/linux", 200, 4 << 20)
+        assert len(spec.files) == 200
+        # The 256-byte floor per file can push a hair past the budget.
+        assert spec.total_bytes <= (4 << 20) * 1.05
+        assert all(p.startswith("/linux/") for p, _ in spec.files)
+        assert spec.dirs[0] == "/linux"
+
+    def test_deterministic(self):
+        a = linux_like_tree("/x", 100, 1 << 20)
+        b = linux_like_tree("/x", 100, 1 << 20)
+        assert a.files == b.files and a.dirs == b.dirs
+
+    def test_scaled_copy(self):
+        a = linux_like_tree("/one", 50, 1 << 20)
+        b = a.scaled_copy("/two")
+        assert len(b.files) == 50
+        assert b.files[0][0].startswith("/two/")
+        assert b.files[0][1] == a.files[0][1]
+
+    def test_file_content_needle(self):
+        body = file_content(4096, with_needle=True)
+        assert GREP_NEEDLE in body
+        assert len(body) == 4096
+        assert GREP_NEEDLE not in file_content(4096, with_needle=False)
+
+
+@pytest.mark.parametrize("system", ["ext4", "BetrFS v0.6"])
+class TestMicroWorkloads:
+    def test_sequential(self, system):
+        mount = make_mount(system, TINY)
+        w = seq_write(mount, TINY)
+        r = seq_read(mount, TINY)
+        assert w > 0 and r > 0
+
+    def test_random_writes(self, system):
+        mount = make_mount(system, TINY)
+        assert random_write_4k(mount, TINY) > 0
+        mount = make_mount(system, TINY)
+        assert random_write_4b(mount, TINY) > 0
+
+    def test_tokubench(self, system):
+        mount = make_mount(system, TINY)
+        kops = tokubench(mount, TINY)
+        assert kops > 0
+        # All files exist.
+        assert mount.vfs.exists("/toku")
+
+    def test_dirops(self, system):
+        mount = make_mount(system, TINY)
+        spec = linux_like_tree("/linux", TINY.tree_files, TINY.tree_bytes)
+        build_tree(mount, spec)
+        assert grep_tree(mount, "/linux") > 0
+        assert find_tree(mount, "/linux") > 0
+        assert rm_rf(mount, "/linux") > 0
+        assert not mount.vfs.exists("/linux")
+
+
+@pytest.mark.parametrize("system", ["zfs", "BetrFS v0.6"])
+class TestApplicationWorkloads:
+    def test_tar_untar(self, system):
+        mount = make_mount(system, TINY)
+        spec = linux_like_tree("/src", TINY.tree_files, TINY.tree_bytes)
+        assert untar_tree(mount, spec) > 0
+        assert tar_tree(mount, spec) > 0
+        assert mount.vfs.stat("/archive.tar").size > 0
+
+    def test_git(self, system):
+        mount = make_mount(system, TINY)
+        spec = linux_like_tree("/repo", TINY.tree_files, TINY.tree_bytes)
+        setup_git_repo(mount, spec, 256 << 10)
+        assert git_clone(mount, spec, 256 << 10, "/clone") > 0
+        assert git_diff(mount, spec, 256 << 10) > 0
+        assert mount.vfs.exists("/clone/.git-pack")
+
+    def test_rsync_both_modes(self, system):
+        mount = make_mount(system, TINY)
+        spec = linux_like_tree("/src", TINY.tree_files, TINY.tree_bytes)
+        build_tree(mount, spec)
+        assert rsync_copy(mount, spec, "/dst1", in_place=False) > 0
+        assert rsync_copy(mount, spec, "/dst2", in_place=True) > 0
+        # Both copies hold the data.
+        path, size = spec.files[0]
+        rel = path[len(spec.root):]
+        a = mount.vfs.read("/dst1" + rel, 0, size)
+        b = mount.vfs.read("/dst2" + rel, 0, size)
+        assert a == b and len(a) == size
+
+    def test_mailserver(self, system):
+        mount = make_mount(system, TINY)
+        assert mailserver(mount, TINY) > 0
+
+    def test_filebench_personalities(self, system):
+        for fn in (
+            filebench_oltp,
+            filebench_fileserver,
+            filebench_webserver,
+            filebench_webproxy,
+        ):
+            mount = make_mount(system, TINY)
+            assert fn(mount, TINY) > 0
