@@ -9,6 +9,7 @@ from repro.baselines.params import BASELINES
 from repro.betrfs.filesystem import MountOptions
 from repro.device.block import BlockDevice
 from repro.device.clock import SimClock
+from repro.obs import scope_for_mount
 from repro.vfs.vfs import VFS
 
 
@@ -24,14 +25,17 @@ class BaselineMount:
         self.opts = opts or MountOptions()
         self.clock = SimClock()
         self.costs = self.opts.costs
-        self.device = BlockDevice(self.clock, self.opts.profile)
+        self.obs = scope_for_mount(self.name, self.clock)
+        self.device = BlockDevice(self.clock, self.opts.profile, obs=self.obs)
         self.backend = BaselineFS(self.device, self.costs, BASELINES[name])
+        self.obs.register_object("storage.backend", self.backend, layer="storage")
         self.vfs = VFS(
             self.backend,
             self.clock,
             self.costs,
             page_cache_bytes=self.opts.page_cache_bytes,
             dirty_limit_bytes=self.opts.dirty_limit_bytes,
+            obs=self.obs,
         )
 
     def sync(self) -> None:

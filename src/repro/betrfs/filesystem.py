@@ -22,6 +22,7 @@ from repro.kmem.allocator import KernelAllocator
 from repro.kmem.coop import CooperativeAllocator
 from repro.model.costs import CostModel
 from repro.model.profiles import COMMODITY_SSD, DeviceProfile
+from repro.obs import scope_for_mount
 from repro.storage.ext4sim import Ext4Southbound
 from repro.storage.sfl import SimpleFileLayer
 from repro.vfs.vfs import VFS
@@ -65,13 +66,16 @@ class BetrFS:
         self.name = features.name
         self.clock = SimClock()
         self.costs = self.opts.costs
-        self.device = BlockDevice(self.clock, self.opts.profile)
+        #: Observability scope: registered with the active session when
+        #: one is installed (repro.obs.session), standalone otherwise.
+        self.obs = scope_for_mount(self.name, self.clock)
+        self.device = BlockDevice(self.clock, self.opts.profile, obs=self.obs)
         if features.coop_memory:
             self.alloc: KernelAllocator = CooperativeAllocator(
-                self.clock, self.costs
+                self.clock, self.costs, obs=self.obs
             )
         else:
-            self.alloc = KernelAllocator(self.clock, self.costs)
+            self.alloc = KernelAllocator(self.clock, self.costs, obs=self.obs)
         self.config = BeTreeConfig(
             page_sharing=features.page_sharing,
             lazy_apply_on_query=features.lazy_apply_on_query,
@@ -93,6 +97,9 @@ class BetrFS:
             )
         else:
             self.storage = Ext4Southbound(self.device, self.costs)
+        self.obs.register_object(
+            "storage.southbound", self.storage, layer="storage"
+        )
         self.env = KVEnv(
             self.storage,
             self.clock,
@@ -106,6 +113,7 @@ class BetrFS:
             # elides full data pages from the log; the v0.4 engine
             # logged everything.
             log_page_values=not features.use_sfl,
+            obs=self.obs,
         )
         self.backend = BetrFSNorthbound(self.env, features)
         self.vfs = VFS(
@@ -114,6 +122,7 @@ class BetrFS:
             self.costs,
             page_cache_bytes=self.opts.page_cache_bytes,
             dirty_limit_bytes=self.opts.dirty_limit_bytes,
+            obs=self.obs,
         )
 
     # ------------------------------------------------------------------

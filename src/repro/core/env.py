@@ -73,6 +73,7 @@ class KVEnv:
         meta_size: int = 256 * MIB,
         data_size: int = 4096 * MIB,
         log_page_values: bool = True,
+        obs=None,
         _recovering: bool = False,
     ) -> None:
         self.storage = storage
@@ -81,7 +82,11 @@ class KVEnv:
         self.alloc = alloc
         self.config = config
         self.log_page_values = log_page_values
+        self.obs = obs
+        self._tracer = obs.tracer if obs is not None else None
         self.cache = NodeCache(config.cache_bytes)
+        if obs is not None:
+            obs.register_object("tree.nodecache", self.cache, layer="cache")
         self._next_node_id = 1
         self._next_msn = 1
         storage.create("superblock", 8 * MIB)
@@ -89,7 +94,7 @@ class KVEnv:
         storage.create("meta.db", meta_size)
         storage.create("data.db", data_size)
         self.wal = WriteAheadLog(
-            storage, costs, config.log_section, on_full=self._on_log_full
+            storage, costs, config.log_section, on_full=self._on_log_full, obs=obs
         )
         self._sb_generation = 0
         self.last_checkpoint = clock.now
@@ -207,6 +212,15 @@ class KVEnv:
 
     def checkpoint(self) -> None:
         """Write a consistent CoW checkpoint and truncate the log."""
+        tracer = self._tracer
+        if tracer is not None and tracer.enabled:
+            with tracer.span("env.checkpoint", "checkpoint") as sp:
+                self._checkpoint_impl()
+                sp.args["checkpoints"] = self.checkpoints
+        else:
+            self._checkpoint_impl()
+
+    def _checkpoint_impl(self) -> None:
         self.checkpoints += 1
         self.wal.flush(durable=False)
         for tree in self.trees:
@@ -287,6 +301,7 @@ class KVEnv:
         meta_size: int = 256 * MIB,
         data_size: int = 4096 * MIB,
         log_page_values: bool = True,
+        obs=None,
     ) -> "KVEnv":
         """Open an existing environment, replaying the log if needed."""
         env = cls(
@@ -299,6 +314,7 @@ class KVEnv:
             meta_size=meta_size,
             data_size=data_size,
             log_page_values=log_page_values,
+            obs=obs,
             _recovering=True,
         )
         slot0 = storage.read("superblock", 0, Superblock.SLOT_SIZE)

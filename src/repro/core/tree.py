@@ -108,6 +108,14 @@ class BeTree:
         self.storage = env.storage
         self.cache = env.cache
         self.stats = TreeStats()
+        obs = getattr(env, "obs", None)
+        self._tracer = env._tracer if obs is not None else None
+        self._lat_query = None
+        if obs is not None:
+            obs.register_object(f"tree.{file_name}", self.stats, layer="tree")
+            self._lat_query = obs.latency(
+                "tree.query_latency", layer="tree", tree=file_name
+            )
         if blockman is not None:
             self.blockman = blockman
         else:
@@ -163,6 +171,20 @@ class BeTree:
     # ==================================================================
     def get(self, key: bytes, seq_hint: bool = False) -> Optional[Value]:
         """Point query; ``seq_hint`` enables tree-level read-ahead."""
+        if self._lat_query is None:
+            return self._get_impl(key, seq_hint)
+        t0 = self.clock.now
+        tracer = self._tracer
+        if tracer is not None and tracer.enabled:
+            with tracer.span("tree.query", "tree") as sp:
+                value = self._get_impl(key, seq_hint)
+                sp.args["tree"] = self.file_name
+        else:
+            value = self._get_impl(key, seq_hint)
+        self._lat_query.observe(self.clock.now - t0)
+        return value
+
+    def _get_impl(self, key: bytes, seq_hint: bool) -> Optional[Value]:
         self.stats.queries += 1
         self.clock.cpu(self.costs.query_overhead)
         path: List[InternalNode] = []
@@ -285,6 +307,15 @@ class BeTree:
                 break  # nothing routable (single stuck message)
 
     def _flush_one_batch(self, node: InternalNode) -> None:
+        tracer = self._tracer
+        if tracer is not None and tracer.enabled:
+            with tracer.span("tree.flush_batch", "tree") as sp:
+                self._flush_one_batch_impl(node)
+                sp.args["tree"] = self.file_name
+        else:
+            self._flush_one_batch_impl(node)
+
+    def _flush_one_batch_impl(self, node: InternalNode) -> None:
         self.stats.flushes += 1
         self.clock.cpu(self.costs.flush_overhead)
         idx = node.fattest_child()
@@ -808,6 +839,21 @@ class BeTree:
         node = self.cache.get(node_id)
         if node is not None:
             return node
+        tracer = self._tracer
+        if tracer is not None and tracer.enabled:
+            with tracer.span("tree.node_read", "tree") as sp:
+                node = self._load_node_miss(node_id, for_key, allow_partial)
+                sp.args["tree"] = self.file_name
+                sp.args["node"] = node_id
+            return node
+        return self._load_node_miss(node_id, for_key, allow_partial)
+
+    def _load_node_miss(
+        self,
+        node_id: int,
+        for_key: Optional[bytes],
+        allow_partial: bool,
+    ) -> Node:
         if not self.blockman.contains(node_id):
             raise KeyError(f"node {node_id} has no on-disk extent")
         off, ln = self.blockman.lookup(node_id)
@@ -938,6 +984,16 @@ class BeTree:
     # ------------------------------------------------------------------
     def write_node(self, node: Node) -> None:
         """Serialize and persist one node (CoW)."""
+        tracer = self._tracer
+        if tracer is not None and tracer.enabled:
+            with tracer.span("tree.node_write", "tree") as sp:
+                self._write_node_impl(node)
+                sp.args["tree"] = self.file_name
+                sp.args["node"] = node.node_id
+        else:
+            self._write_node_impl(node)
+
+    def _write_node_impl(self, node: Node) -> None:
         if isinstance(node, LeafNode):
             self._ensure_fully_loaded(node)
         ser = serialize_node(

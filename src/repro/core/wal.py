@@ -105,11 +105,15 @@ class WriteAheadLog:
         costs: CostModel,
         section_size: int,
         on_full: Optional[Callable[[], None]] = None,
+        obs=None,
     ) -> None:
         self.storage = storage
         self.costs = costs
         self.clock = storage.clock
         self.section_size = section_size
+        self._tracer = obs.tracer if obs is not None else None
+        if obs is not None:
+            obs.register_object("log.wal", self, layer="log")
         self.region_size = storage.file_size("log")
         #: Called when the circular buffer cannot advance (forces a
         #: checkpoint, which releases the tail).
@@ -130,6 +134,8 @@ class WriteAheadLog:
         self._section_pins: Dict[int, int] = {}
         self.entries_appended = 0
         self.bytes_flushed = 0
+        self.flushes = 0
+        self.durable_flushes = 0
 
     # ------------------------------------------------------------------
     def append(
@@ -179,6 +185,20 @@ class WriteAheadLog:
 
     def flush(self, durable: bool = True) -> None:
         """Write buffered entries to the device (one sequential I/O)."""
+        tracer = self._tracer
+        if tracer is not None and tracer.enabled:
+            with tracer.span("wal.flush", "log") as sp:
+                nbytes = self._buffer_bytes
+                self._flush_impl(durable)
+                sp.args["bytes"] = nbytes
+                sp.args["durable"] = durable
+        else:
+            self._flush_impl(durable)
+
+    def _flush_impl(self, durable: bool) -> None:
+        self.flushes += 1
+        if durable:
+            self.durable_flushes += 1
         if self._buffer:
             blob = b"".join(self._buffer)
             self._buffer.clear()

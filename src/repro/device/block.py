@@ -145,10 +145,12 @@ class BlockDevice:
         clock: SimClock,
         profile: DeviceProfile,
         charge_time: bool = True,
+        obs=None,
     ) -> None:
         self.clock = clock
         self.profile = profile
         self.stats = IOStats()
+        self.attach_obs(obs)
         self.store = ExtentStore()
         #: Device timeline: the device is busy until this instant.
         self.busy_until = 0.0
@@ -168,6 +170,32 @@ class BlockDevice:
 
     #: Idle seconds after which a saturated write cache recovers.
     CACHE_RECOVERY_IDLE = 0.5
+
+    def attach_obs(self, obs) -> None:
+        """Register this device with an observability scope.
+
+        ``obs`` is a :class:`repro.obs.MountScope` (or None).  The
+        existing :class:`IOStats` object is registered as-is; latency
+        histograms and device-timeline trace events are only recorded
+        when a scope is attached, so raw devices stay unobserved.
+        """
+        self._obs = obs
+        if obs is None:
+            self._tracer = None
+            self._lat_read = None
+            self._lat_write = None
+            return
+        obs.register_object("device.io", self.stats, layer="device")
+        obs.registry.gauge(
+            "device.busy_fraction",
+            layer="device",
+            fn=lambda: (
+                self.stats.busy_time / self.clock.now if self.clock.now > 0 else 0.0
+            ),
+        )
+        self._tracer = obs.tracer
+        self._lat_read = obs.latency("device.read_latency", layer="device")
+        self._lat_write = obs.latency("device.write_latency", layer="device")
 
     # ------------------------------------------------------------------
     # Internal timing
@@ -242,7 +270,15 @@ class BlockDevice:
         sequential = self._note_stream(self._read_streams, offset, offset + length)
         dur = self._io_duration(nbytes, write=False, sequential=sequential)
         done = self._schedule(dur) if self.charge_time else self.clock.now
-        self.stats.record(False, nbytes, sequential, dur)
+        self.stats.record(False, nbytes, sequential, dur, raw_nbytes=length)
+        if self._lat_read is not None:
+            self._lat_read.observe(dur)
+            tracer = self._tracer
+            if tracer is not None and tracer.enabled:
+                tracer.event(
+                    "dev.read", "device", done - dur, dur,
+                    bytes=nbytes, seq=sequential,
+                )
         data = self.store.read(offset, length)
         return Completion(done, data, write=False)
 
@@ -254,7 +290,15 @@ class BlockDevice:
         )
         dur = self._io_duration(nbytes, write=True, sequential=sequential)
         done = self._schedule(dur) if self.charge_time else self.clock.now
-        self.stats.record(True, nbytes, sequential, dur)
+        self.stats.record(True, nbytes, sequential, dur, raw_nbytes=len(data))
+        if self._lat_write is not None:
+            self._lat_write.observe(dur)
+            tracer = self._tracer
+            if tracer is not None and tracer.enabled:
+                tracer.event(
+                    "dev.write", "device", done - dur, dur,
+                    bytes=nbytes, seq=sequential,
+                )
         self.store.write(offset, data)
         return Completion(done, None, write=True)
 
@@ -278,10 +322,16 @@ class BlockDevice:
 
     def flush(self) -> None:
         """Barrier: wait for all outstanding I/O plus a cache flush."""
-        self.stats.flushes += 1
         if not self.charge_time:
+            self.stats.record_flush(0.0)
             return
-        done = self._schedule(self.profile.flush_lat)
+        dur = self.profile.flush_lat
+        done = self._schedule(dur)
+        self.stats.record_flush(dur)
+        if self._lat_write is not None:
+            tracer = self._tracer
+            if tracer is not None and tracer.enabled:
+                tracer.event("dev.flush", "device", done - dur, dur)
         self.clock.wait_until(done)
 
     def discard(self, offset: int, length: int) -> None:

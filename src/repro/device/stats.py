@@ -3,6 +3,17 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Optional
+
+
+def _hist_delta(now: dict, earlier: dict) -> dict:
+    """Per-bucket difference of two (monotonic) count histograms."""
+    out = {}
+    for bucket in set(now) | set(earlier):
+        diff = now.get(bucket, 0) - earlier.get(bucket, 0)
+        if diff:
+            out[bucket] = diff
+    return out
 
 
 @dataclass
@@ -14,23 +25,39 @@ class IOStats:
     flushes: int = 0
     bytes_read: int = 0
     bytes_written: int = 0
+    #: Pre-sector-rounding byte counts (what callers actually asked
+    #: for); the rounded counts above are what the device transferred.
+    raw_bytes_read: int = 0
+    raw_bytes_written: int = 0
     seq_reads: int = 0
     seq_writes: int = 0
     rand_reads: int = 0
     rand_writes: int = 0
-    #: Seconds the device spent busy (transfer + latency).
+    #: Seconds the device spent busy (transfer + latency + flushes).
     busy_time: float = 0.0
+    #: Seconds of busy_time spent in cache-flush barriers.
+    flush_time: float = 0.0
     #: Histogram of write sizes, bucketed by power of two.
     write_size_hist: dict = field(default_factory=dict)
     read_size_hist: dict = field(default_factory=dict)
 
-    def record(self, write: bool, nbytes: int, sequential: bool, duration: float) -> None:
+    def record(
+        self,
+        write: bool,
+        nbytes: int,
+        sequential: bool,
+        duration: float,
+        raw_nbytes: Optional[int] = None,
+    ) -> None:
+        if raw_nbytes is None:
+            raw_nbytes = nbytes
         bucket = 1
         while bucket < nbytes:
             bucket <<= 1
         if write:
             self.writes += 1
             self.bytes_written += nbytes
+            self.raw_bytes_written += raw_nbytes
             if sequential:
                 self.seq_writes += 1
             else:
@@ -39,12 +66,20 @@ class IOStats:
         else:
             self.reads += 1
             self.bytes_read += nbytes
+            self.raw_bytes_read += raw_nbytes
             if sequential:
                 self.seq_reads += 1
             else:
                 self.rand_reads += 1
             self.read_size_hist[bucket] = self.read_size_hist.get(bucket, 0) + 1
         self.busy_time += duration
+
+    def record_flush(self, duration: float) -> None:
+        """Account one cache-flush barrier (duration 0 when the device
+        is not charging time)."""
+        self.flushes += 1
+        self.busy_time += duration
+        self.flush_time += duration
 
     def snapshot(self) -> "IOStats":
         """A copy of the counters (for before/after comparisons)."""
@@ -54,11 +89,14 @@ class IOStats:
             flushes=self.flushes,
             bytes_read=self.bytes_read,
             bytes_written=self.bytes_written,
+            raw_bytes_read=self.raw_bytes_read,
+            raw_bytes_written=self.raw_bytes_written,
             seq_reads=self.seq_reads,
             seq_writes=self.seq_writes,
             rand_reads=self.rand_reads,
             rand_writes=self.rand_writes,
             busy_time=self.busy_time,
+            flush_time=self.flush_time,
         )
         snap.write_size_hist = dict(self.write_size_hist)
         snap.read_size_hist = dict(self.read_size_hist)
@@ -72,10 +110,15 @@ class IOStats:
             flushes=self.flushes - earlier.flushes,
             bytes_read=self.bytes_read - earlier.bytes_read,
             bytes_written=self.bytes_written - earlier.bytes_written,
+            raw_bytes_read=self.raw_bytes_read - earlier.raw_bytes_read,
+            raw_bytes_written=self.raw_bytes_written - earlier.raw_bytes_written,
             seq_reads=self.seq_reads - earlier.seq_reads,
             seq_writes=self.seq_writes - earlier.seq_writes,
             rand_reads=self.rand_reads - earlier.rand_reads,
             rand_writes=self.rand_writes - earlier.rand_writes,
             busy_time=self.busy_time - earlier.busy_time,
+            flush_time=self.flush_time - earlier.flush_time,
         )
+        out.write_size_hist = _hist_delta(self.write_size_hist, earlier.write_size_hist)
+        out.read_size_hist = _hist_delta(self.read_size_hist, earlier.read_size_hist)
         return out

@@ -17,6 +17,7 @@ import time
 
 from repro.harness.figures import FIGURES, render_figures, run_figures
 from repro.harness.paperdata import PAPER_TABLE3
+from repro.obs import Observability, session
 from repro.harness.report import render_experiments_md, write_results_json
 from repro.harness.runner import (
     FIG2_SYSTEMS,
@@ -36,9 +37,10 @@ def main(argv=None) -> int:
     )
     parser.add_argument(
         "target",
-        choices=["table1", "table3", "fig2", "hdd", "all"],
+        choices=["table1", "table3", "fig2", "hdd", "all", "stats"],
         help="which artifact to regenerate (hdd = the prior-work "
-        "'compleat on an HDD' context for BetrFS v0.4)",
+        "'compleat on an HDD' context for BetrFS v0.4; stats = run a "
+        "workload and print the per-layer observability tables)",
     )
     parser.add_argument(
         "--scale",
@@ -58,6 +60,20 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--out", default=None, help="directory for results JSON / EXPERIMENTS.md"
     )
+    parser.add_argument(
+        "--metrics-out",
+        default=None,
+        metavar="METRICS_JSON",
+        help="write per-mount metrics (counters, latency percentiles) "
+        "as JSON after the run",
+    )
+    parser.add_argument(
+        "--trace-out",
+        default=None,
+        metavar="TRACE_JSON",
+        help="record spans and write a Chrome trace_event JSON "
+        "(chrome://tracing / Perfetto) after the run",
+    )
     parser.add_argument("--quiet", action="store_true")
     args = parser.parse_args(argv)
 
@@ -67,25 +83,44 @@ def main(argv=None) -> int:
     tables = {}
     figures = {}
 
-    if args.target in ("table1", "table3", "all"):
-        systems = args.systems or (
-            TABLE1_SYSTEMS if args.target == "table1" else TABLE3_SYSTEMS
-        )
-        tables = run_microbenches(systems, scale, verbose=verbose)
-        print(render_vs_paper(tables, list(tables), f"{args.target}: measured (paper)"))
-    if args.target == "hdd":
-        rows = run_hdd_context(systems=args.systems, scale=scale, verbose=verbose)
-        print(
-            render_vs_paper(
-                rows, list(rows), "HDD context: measured (paper SSD values for reference)"
+    obs = Observability(tracing=args.trace_out is not None)
+    with session(obs):
+        if args.target in ("table1", "table3", "all"):
+            systems = args.systems or (
+                TABLE1_SYSTEMS if args.target == "table1" else TABLE3_SYSTEMS
             )
-        )
-        tables = rows
-    if args.target in ("fig2", "all"):
-        figures = run_figures(
-            figures=args.figures, systems=args.systems, scale=scale, verbose=verbose
-        )
-        print(render_figures(figures))
+            tables = run_microbenches(systems, scale, verbose=verbose)
+            print(render_vs_paper(tables, list(tables), f"{args.target}: measured (paper)"))
+        if args.target == "hdd":
+            rows = run_hdd_context(systems=args.systems, scale=scale, verbose=verbose)
+            print(
+                render_vs_paper(
+                    rows, list(rows), "HDD context: measured (paper SSD values for reference)"
+                )
+            )
+            tables = rows
+        if args.target in ("fig2", "all"):
+            figures = run_figures(
+                figures=args.figures, systems=args.systems, scale=scale, verbose=verbose
+            )
+            print(render_figures(figures))
+        if args.target == "stats":
+            # Run a representative workload (default: the tar figure)
+            # and print the per-layer observability tables.
+            figures = run_figures(
+                figures=args.figures or ["fig2a"],
+                systems=args.systems,
+                scale=scale,
+                verbose=verbose,
+            )
+            print(obs.render_stats())
+
+    if args.metrics_out:
+        obs.write_metrics(args.metrics_out)
+        print(f"metrics written to {args.metrics_out}", file=sys.stderr)
+    if args.trace_out:
+        obs.write_trace(args.trace_out)
+        print(f"trace written to {args.trace_out}", file=sys.stderr)
 
     if args.out:
         os.makedirs(args.out, exist_ok=True)

@@ -69,12 +69,14 @@ class KernelAllocator:
     BASELINE_CACHE_SIZE = 128 * 1024
     BASELINE_CACHE_SLOTS = 32
 
-    def __init__(self, clock: SimClock, costs: CostModel) -> None:
+    def __init__(self, clock: SimClock, costs: CostModel, obs=None) -> None:
         self.clock = clock
         self.costs = costs
         self.stats = AllocStats()
         self._ids = itertools.count(1)
         self._cache_free = self.BASELINE_CACHE_SLOTS
+        if obs is not None:
+            obs.register_object("kmem.alloc", self.stats, layer="kmem")
 
     # ------------------------------------------------------------------
     # Raw allocation primitives

@@ -36,8 +36,8 @@ BIMODAL_TARGET = 4 * 1024 * 1024
 class CooperativeAllocator(KernelAllocator):
     """Allocator with the paper's cooperative memory management."""
 
-    def __init__(self, clock: SimClock, costs: CostModel) -> None:
-        super().__init__(clock, costs)
+    def __init__(self, clock: SimClock, costs: CostModel, obs=None) -> None:
+        super().__init__(clock, costs, obs=obs)
         self._pools: Dict[int, int] = {cls: 0 for cls in CACHED_CLASSES}
         # Pre-warm the pools: the paper's allocator fills caches during
         # start-up/steady state; we model a warmed steady state.

@@ -102,6 +102,7 @@ class Ext4Southbound(Southbound):
         self.clock.cpu(len(data) * STACKED_BYTE_COST)
         self.clock.cpu(self.costs.page_cache_op * max(1, len(data) // 4096))
         dev_off = self._map(name, offset, len(data))
+        self._account_write(name, len(data))
         completion = self.device.submit_write(dev_off, data)
         self._track(name, completion)
         self._dirty_completions.append(completion)
@@ -128,6 +129,7 @@ class Ext4Southbound(Southbound):
 
     def read(self, name: str, offset: int, length: int) -> bytes:
         dev_off = self._map(name, offset, length)
+        self._account_read(name, length)
         # VFS read-ahead window: synchronous chunked reads.
         chunks: List[bytes] = []
         pos = 0

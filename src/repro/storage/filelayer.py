@@ -29,6 +29,18 @@ class Southbound:
         self.costs = costs
         self.clock: SimClock = device.clock
         self._pending: Dict[str, List[Completion]] = {}
+        #: Per-file byte accounting (pre-rounding), used by the
+        #: observability layer to check cross-layer conservation:
+        #: what the WAL/trees report writing must equal what their
+        #: southbound files received.
+        self.file_bytes_written: Dict[str, int] = {}
+        self.file_bytes_read: Dict[str, int] = {}
+
+    def _account_write(self, name: str, nbytes: int) -> None:
+        self.file_bytes_written[name] = self.file_bytes_written.get(name, 0) + nbytes
+
+    def _account_read(self, name: str, nbytes: int) -> None:
+        self.file_bytes_read[name] = self.file_bytes_read.get(name, 0) + nbytes
 
     # ------------------------------------------------------------------
     # API used by the tree

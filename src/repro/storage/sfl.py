@@ -86,16 +86,19 @@ class SimpleFileLayer(Southbound):
             # The caller handed us a buffer it will reuse; one copy.
             self.clock.cpu(self.costs.memcpy(len(data)))
         dev_off = self._map(name, offset, len(data))
+        self._account_write(name, len(data))
         completion = self.device.submit_write(dev_off, data)
         self._track(name, completion)
 
     def read(self, name: str, offset: int, length: int) -> bytes:
         dev_off = self._map(name, offset, length)
+        self._account_read(name, length)
         # Direct I/O into the caller's pre-allocated buffer: no copy.
         return self.device.read(dev_off, length)
 
     def prefetch(self, name: str, offset: int, length: int) -> Completion:
         dev_off = self._map(name, offset, length)
+        self._account_read(name, length)
         return self.device.submit_read(dev_off, length)
 
     def sync(self, name: str) -> None:

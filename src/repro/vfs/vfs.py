@@ -121,6 +121,7 @@ class VFS:
         costs: CostModel,
         page_cache_bytes: int = 1 << 30,
         dirty_limit_bytes: int = 256 << 20,
+        obs=None,
     ) -> None:
         self.backend = backend
         self.clock = clock
@@ -133,6 +134,44 @@ class VFS:
         root = VInode("/", Stat(kind=FileKind.DIR, nlink=2), dirty=False)
         root.children_count = 0
         self.dcache.insert(root)
+        if obs is not None:
+            self._instrument(obs)
+
+    #: Syscalls wrapped with a latency histogram and trace span when an
+    #: observability scope is attached.
+    TRACED_OPS = (
+        "create", "mkdir", "unlink", "rmdir", "rename", "symlink",
+        "write", "read", "fsync", "sync", "readdir_plus", "stat",
+    )
+
+    def _instrument(self, obs) -> None:
+        """Wrap the syscall surface with latency/tracing hooks.
+
+        Instance-level wrappers mean an unobserved VFS pays nothing:
+        the class methods stay untouched.
+        """
+        obs.register_object("vfs.pagecache", self.pages, layer="vfs")
+        obs.register_object("vfs.dcache", self.dcache, layer="vfs")
+        obs.registry.gauge(
+            "vfs.syscalls", layer="vfs", fn=lambda: self.syscalls
+        )
+        tracer = obs.tracer
+        clock = self.clock
+        for op in self.TRACED_OPS:
+            inner = getattr(self, op)
+            hist = obs.latency(f"vfs.{op}_latency", layer="vfs")
+
+            def wrapped(*a, _inner=inner, _hist=hist, _name=f"vfs.{op}", **kw):
+                t0 = clock.now
+                if tracer.enabled:
+                    with tracer.span(_name, "vfs"):
+                        out = _inner(*a, **kw)
+                else:
+                    out = _inner(*a, **kw)
+                _hist.observe(clock.now - t0)
+                return out
+
+            setattr(self, op, wrapped)
 
     # ==================================================================
     # Path resolution
@@ -277,6 +316,10 @@ class VFS:
         self._charge_syscall(src)
         self._charge_syscall(dst)
         inode = self._require(src)
+        if src == dst:
+            # Renaming a file onto itself would unlink the destination
+            # (== the source) before the backend rename, destroying it.
+            raise FSError(errno.EINVAL, src)
         dst_inode = self._resolve(dst)
         if dst_inode is not None:
             if dst_inode.stat.kind is FileKind.DIR:

@@ -120,6 +120,29 @@ def test_betrfs_variants_survive_crash(version):
         assert env2.get(META, meta_key(path)) is not None, path
 
 
+def test_bytes_conserved_across_layers():
+    """What each layer reports writing must equal what the layer below
+    received: WAL == log file, trees == node files, and the device's
+    (pre-sector-rounding) total == the sum over southbound files."""
+    mount = make_mount("BetrFS v0.6", SMOKE_SCALE)
+    scripted_workload(mount)
+    mount.env.checkpoint()  # force node write-back so trees report bytes
+    env, storage, device = mount.env, mount.storage, mount.device
+
+    assert env.wal.bytes_flushed == storage.file_bytes_written["log"]
+    tree_bytes = sum(t.stats.bytes_node_written for t in env.trees)
+    assert tree_bytes > 0
+    assert tree_bytes == (
+        storage.file_bytes_written["meta.db"]
+        + storage.file_bytes_written["data.db"]
+    )
+    assert device.stats.raw_bytes_written == sum(
+        storage.file_bytes_written.values()
+    )
+    # Sector rounding only ever adds bytes.
+    assert device.stats.bytes_written >= device.stats.raw_bytes_written
+
+
 def test_simulated_time_accumulates_everywhere():
     for system in ("ext4", "BetrFS v0.6"):
         mount = make_mount(system, SMOKE_SCALE)
