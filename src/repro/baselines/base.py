@@ -159,9 +159,12 @@ class BaselineFS(FileSystemBackend):
         self.clock.cpu(self.params.unlink_cost)
         self._meta.pop(path, None)
         self._children.get(self._parent(path), set()).discard(self._name(path))
-        # Free the extents (bitmap/extent-tree updates).
+        # Free the extents (bitmap/extent-tree updates), and TRIM them
+        # so the freed space reaches the device (mount -o discard).
         extents = self._extents.pop(path, [])
         self._journal_meta(2 + len(extents) // 16)
+        for _start, off, pages in extents:
+            self.device.discard(off, pages * PAGE_SIZE)
         self._last_wb.pop(path, None)
 
     def evict_inode(self, path: str, stat: Stat, delete_issued: bool) -> None:

@@ -36,6 +36,12 @@ class BlockManager:
         #: Extents to reclaim once the *next* checkpoint commits (the
         #: previous checkpoint may still reference them).
         self.deferred_free: List[Tuple[int, int]] = []
+        #: Extents reclaimed at the last commit, queued for TRIM at the
+        #: one after.  The ping-pong superblock can fall back one
+        #: generation, so an extent may only be discarded on-device
+        #: once it is two durable checkpoints dead.  Extents re-used by
+        #: the allocator in the meantime are unqueued.
+        self._trim_pending: List[Tuple[int, int]] = []
 
     @staticmethod
     def _align(n: int) -> int:
@@ -50,12 +56,34 @@ class BlockManager:
                     self.free_list.pop(i)
                 else:
                     self.free_list[i] = (off + need, ln - need)
+                self._unqueue_trim(off, need)
                 return off
         off = self.cursor
         self.cursor += need
         if self.cursor > self.file_size:
             raise RuntimeError("tree file out of space")
         return off
+
+    def _unqueue_trim(self, off: int, length: int) -> None:
+        """Drop ``[off, off+length)`` from the pending-TRIM queue.
+
+        A freed extent that the allocator hands back out holds live
+        data again and must not be discarded at the next checkpoint.
+        """
+        if not self._trim_pending:
+            return
+        end = off + length
+        out: List[Tuple[int, int]] = []
+        for p_off, p_len in self._trim_pending:
+            p_end = p_off + p_len
+            if p_end <= off or p_off >= end:
+                out.append((p_off, p_len))
+                continue
+            if p_off < off:
+                out.append((p_off, off - p_off))
+            if p_end > end:
+                out.append((end, p_end - end))
+        self._trim_pending = out
 
     def relocate(self, node_id: int, nbytes: int) -> int:
         """CoW-allocate a new extent for ``node_id``; defer-free the old.
@@ -83,10 +111,22 @@ class BlockManager:
         if old is not None:
             self.deferred_free.append((old[0], self._align(old[1])))
 
-    def commit_checkpoint(self) -> None:
-        """The checkpoint is durable: reclaim deferred extents."""
+    def commit_checkpoint(self) -> List[Tuple[int, int]]:
+        """The checkpoint is durable: reclaim deferred extents.
+
+        Returns ``(offset, length)`` extents that are now safe to TRIM
+        down to the device.  An extent freed at this checkpoint is
+        *not* trimmed yet: the previous ping-pong superblock still
+        references it, and recovery may fall back one generation if
+        the newest slot is torn.  It is queued and returned at the
+        following commit, once it is two durable checkpoints dead
+        (unless the allocator re-used it in between).
+        """
+        trim_now = self._trim_pending
+        self._trim_pending = list(self.deferred_free)
         self.free_list.extend(self.deferred_free)
         self.deferred_free.clear()
+        return trim_now
 
     # ------------------------------------------------------------------
     # Serialization (into the superblock region)

@@ -229,8 +229,7 @@ class KVEnv:
         self.storage.sync("data.db")
         lsn = self.wal.next_lsn - 1
         self._write_superblock(lsn, clean=False)
-        for tree in self.trees:
-            tree.blockman.commit_checkpoint()
+        self._reclaim_extents()
         self.wal.truncate(lsn, self.wal.head)
         self._elided_volatile = False
         self.last_checkpoint = self.clock.now
@@ -261,8 +260,18 @@ class KVEnv:
         self.storage.sync("meta.db")
         self.storage.sync("data.db")
         self._write_superblock(self.wal.next_lsn - 1, clean=True)
+        self._reclaim_extents()
+
+    def _reclaim_extents(self) -> None:
+        """Commit the CoW free lists and TRIM the reclaimed extents.
+
+        The superblock that stopped referencing them is durable, so the
+        old node copies are dead; telling the device keeps FTL garbage
+        collection cheap (dead pages need no relocation).
+        """
         for tree in self.trees:
-            tree.blockman.commit_checkpoint()
+            for off, ln in tree.blockman.commit_checkpoint():
+                self.storage.discard(tree.file_name, off, ln)
 
     # ------------------------------------------------------------------
     # Housekeeping

@@ -222,7 +222,10 @@ class WriteAheadLog:
     def truncate(self, lsn: int, new_tail_offset: int) -> None:
         """A checkpoint at ``lsn`` no longer needs the log before it.
 
-        Pinned sections (conditional logging) hold the tail back.
+        Pinned sections (conditional logging) hold the tail back.  The
+        released region is TRIMmed: the log is circular, so telling the
+        device the tail moved is what keeps an FTL from relocating dead
+        log pages during garbage collection.
         """
         self.checkpoint_lsn = lsn
         if self._section_pins:
@@ -230,7 +233,18 @@ class WriteAheadLog:
             # Only advance the tail up to the oldest pinned section.
             if self._between(self.tail, oldest_pinned, new_tail_offset):
                 new_tail_offset = oldest_pinned
+        old_tail = self.tail
         self.tail = new_tail_offset
+        if new_tail_offset >= old_tail:
+            spans = [(old_tail, new_tail_offset - old_tail)]
+        else:  # wrapped
+            spans = [
+                (old_tail, self.region_size - old_tail),
+                (0, new_tail_offset),
+            ]
+        for off, ln in spans:
+            if ln > 0:
+                self.storage.discard("log", off, ln)
 
     def _between(self, tail: int, x: int, head: int) -> bool:
         """True if circular position x lies in [tail, head] — i.e. the

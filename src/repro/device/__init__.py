@@ -1,7 +1,16 @@
-"""Simulated block devices and the simulation clock."""
+"""Simulated block devices, the FTL, and the simulation clock."""
 
 from repro.device.clock import SimClock
 from repro.device.stats import IOStats
+from repro.device.ftl import FlashTranslationLayer, FTLStats
 from repro.device.block import BlockDevice, Completion, ExtentStore
 
-__all__ = ["SimClock", "IOStats", "BlockDevice", "Completion", "ExtentStore"]
+__all__ = [
+    "SimClock",
+    "IOStats",
+    "BlockDevice",
+    "Completion",
+    "ExtentStore",
+    "FlashTranslationLayer",
+    "FTLStats",
+]

@@ -22,6 +22,7 @@ import bisect
 from typing import Dict, List, Optional, Tuple
 
 from repro.device.clock import SimClock
+from repro.device.ftl import FlashTranslationLayer
 from repro.device.stats import IOStats
 from repro.model.profiles import DeviceProfile
 
@@ -131,6 +132,23 @@ class ExtentStore:
     def extent_count(self) -> int:
         return len(self._offsets)
 
+    # ------------------------------------------------------------------
+    # Snapshots (crash images)
+    # ------------------------------------------------------------------
+    def snapshot(self) -> List[Tuple[int, bytes]]:
+        """The stored extents as ``(offset, bytes)`` pairs, offset
+        order.  The public API for copying a store's contents — crash
+        twins must not reach into the private extent structures."""
+        return [(off, self._extents[off]) for off in self._offsets]
+
+    @classmethod
+    def from_snapshot(cls, extents: List[Tuple[int, bytes]]) -> "ExtentStore":
+        """Rebuild a store from :meth:`snapshot` output."""
+        store = cls()
+        for off, data in extents:
+            store.write(off, data)
+        return store
+
 
 class BlockDevice:
     """A simulated block device with a performance profile.
@@ -150,8 +168,15 @@ class BlockDevice:
         self.clock = clock
         self.profile = profile
         self.stats = IOStats()
-        self.attach_obs(obs)
         self.store = ExtentStore()
+        #: Page-mapped FTL timing/accounting model (None when the
+        #: profile has no flash geometry: HDDs, the null device).
+        self.ftl: Optional[FlashTranslationLayer] = (
+            FlashTranslationLayer(profile.ftl, profile.capacity)
+            if profile.ftl is not None
+            else None
+        )
+        self.attach_obs(obs)
         #: Device timeline: the device is busy until this instant.
         self.busy_until = 0.0
         #: Tails of recent sequential streams (SSDs and the kernel both
@@ -184,6 +209,7 @@ class BlockDevice:
             self._tracer = None
             self._lat_read = None
             self._lat_write = None
+            self._lat_gc = None
             return
         obs.register_object("device.io", self.stats, layer="device")
         obs.registry.gauge(
@@ -196,6 +222,22 @@ class BlockDevice:
         self._tracer = obs.tracer
         self._lat_read = obs.latency("device.read_latency", layer="device")
         self._lat_write = obs.latency("device.write_latency", layer="device")
+        if self.ftl is not None:
+            ftl = self.ftl
+            obs.register_object("device.ftl", ftl.stats, layer="device")
+            obs.registry.gauge(
+                "ftl.write_amplification", layer="device",
+                fn=ftl.write_amplification,
+            )
+            obs.registry.gauge(
+                "ftl.free_blocks", layer="device", fn=ftl.free_blocks
+            )
+            obs.registry.gauge(
+                "ftl.erase_count_max", layer="device", fn=ftl.erase_count_max
+            )
+            self._lat_gc = obs.latency("device.gc_pause", layer="device")
+        else:
+            self._lat_gc = None
 
     # ------------------------------------------------------------------
     # Internal timing
@@ -289,16 +331,29 @@ class BlockDevice:
             self._write_streams, offset, offset + len(data)
         )
         dur = self._io_duration(nbytes, write=True, sequential=sequential)
+        gc_seconds = 0.0
+        if self.ftl is not None:
+            # The FTL maps the written pages; if that drops the free
+            # pool below the watermark, this write absorbs the GC
+            # copy + erase time (the steady-state tail-latency pause).
+            gc_seconds = self.ftl.host_write(offset, len(data))
+            dur += gc_seconds
         done = self._schedule(dur) if self.charge_time else self.clock.now
         self.stats.record(True, nbytes, sequential, dur, raw_nbytes=len(data))
         if self._lat_write is not None:
             self._lat_write.observe(dur)
+            if gc_seconds > 0.0 and self._lat_gc is not None:
+                self._lat_gc.observe(gc_seconds)
             tracer = self._tracer
             if tracer is not None and tracer.enabled:
                 tracer.event(
                     "dev.write", "device", done - dur, dur,
                     bytes=nbytes, seq=sequential,
                 )
+                if gc_seconds > 0.0:
+                    tracer.event(
+                        "dev.gc", "device", done - gc_seconds, gc_seconds,
+                    )
         self.store.write(offset, data)
         return Completion(done, None, write=True)
 
@@ -335,21 +390,39 @@ class BlockDevice:
         self.clock.wait_until(done)
 
     def discard(self, offset: int, length: int) -> None:
-        """TRIM a range (free, used by log-structured baselines)."""
+        """TRIM a byte range.
+
+        Queued like any other command: it charges the per-command
+        overhead on the device timeline (without blocking the caller)
+        and unmaps the covered flash pages, so garbage collection on a
+        trimmed device finds cheaper victims.
+        """
+        dur = self.profile.cmd_overhead
+        if self.charge_time:
+            self._schedule(dur)
+        else:
+            dur = 0.0
+        self.stats.record_discard(length, dur)
+        if self.ftl is not None:
+            self.ftl.trim(offset, length)
         self.store.discard(offset, length)
 
     # ------------------------------------------------------------------
     # Crash simulation
     # ------------------------------------------------------------------
     def crash_image(self) -> "BlockDevice":
-        """Return a new device holding a copy of the persisted bytes.
+        """Return a new device holding a copy of the persisted state.
 
         The copy shares no mutable state with this device; a stack can
         be rebooted against it to exercise crash recovery.  (We model
         the device write cache as durable — the paper's SSD has a
         non-volatile cache — so everything accepted is in the image.)
+        The image carries the FTL state too: an aged device's crash
+        twin reboots equally aged, with the same mapping, free pool,
+        and wear.
         """
         twin = BlockDevice(SimClock(), self.profile, charge_time=self.charge_time)
-        for off in list(self.store._offsets):
-            twin.store.write(off, self.store._extents[off])
+        twin.store = ExtentStore.from_snapshot(self.store.snapshot())
+        if self.ftl is not None:
+            twin.ftl = self.ftl.clone()
         return twin

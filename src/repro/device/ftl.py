@@ -1,0 +1,330 @@
+"""A page-mapped flash translation layer.
+
+Sits between :class:`~repro.device.block.BlockDevice`'s request path
+and its :class:`~repro.device.block.ExtentStore`.  The extent store
+remains the *functional* model (logical bytes, so crash images stay
+bit-identical); the FTL is the *timing and accounting* model of what
+the flash underneath does with those logical writes:
+
+* a logical→physical page map, filled by host writes against a single
+  write frontier (the open block being programmed);
+* erase blocks with valid-page bitmaps and per-block erase counts;
+* over-provisioned physical space (``op_ratio`` beyond the advertised
+  capacity) that gives garbage collection room to breathe;
+* greedy-victim garbage collection — triggered when free blocks fall
+  below the watermark, it relocates the valid pages of the block with
+  the fewest of them and erases it, charging real copy + erase time
+  that the triggering host write pays (GC pauses therefore surface as
+  tail latency in the device's write-latency histogram);
+* a TRIM path that unmaps whole pages so GC finds cheaper victims.
+
+Structures are lazy — dictionaries keyed by touched blocks/pages — so
+a fresh 250 GB device costs nothing to model; only data actually
+written occupies memory, and GC only ever runs on devices small (or
+full) enough to exhaust their free blocks.
+
+Write amplification is ``flash_pages_written / host_pages_written``;
+on a fresh device it is exactly 1.0, and it climbs as GC relocates
+survivors.  :meth:`FlashTranslationLayer.age` synthesizes a
+steady-state (fragmented) device without simulating the fill history —
+see ``repro/workloads/aging.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.model.profiles import FTLGeometry
+
+
+@dataclass
+class FTLStats:
+    """Accounting counters maintained by the FTL (registered with obs
+    as ``device.ftl``)."""
+
+    #: Pages written by the host (the numerator's denominator).
+    host_pages_written: int = 0
+    #: Pages programmed to flash: host writes plus GC relocations.
+    flash_pages_written: int = 0
+    #: Valid pages relocated by garbage collection.
+    gc_pages_copied: int = 0
+    #: Victim blocks reclaimed.
+    gc_runs: int = 0
+    #: Block erases (monotonic; per-block wear lives on the FTL).
+    erases: int = 0
+    #: Pages unmapped by TRIM.
+    trimmed_pages: int = 0
+    #: Seconds of device time spent in GC copies + erases.
+    gc_time: float = 0.0
+
+    def reset(self) -> None:
+        """Zero the counters in place (registered objects keep their
+        identity, so aging can reset accounting without re-wiring
+        observability)."""
+        self.host_pages_written = 0
+        self.flash_pages_written = 0
+        self.gc_pages_copied = 0
+        self.gc_runs = 0
+        self.erases = 0
+        self.trimmed_pages = 0
+        self.gc_time = 0.0
+
+
+class FlashTranslationLayer:
+    """Page-mapped FTL with greedy garbage collection."""
+
+    def __init__(self, geometry: FTLGeometry, capacity: int) -> None:
+        self.geom = geometry
+        page = geometry.page_size
+        ppb = geometry.pages_per_block
+        #: Advertised logical space, in pages.
+        self.logical_pages = (capacity + page - 1) // page
+        # Physical space: logical + over-provisioning, rounded up to
+        # whole blocks, never fewer than logical + 4 blocks (GC needs
+        # slack to make progress even on tiny test devices).
+        phys_pages = int(self.logical_pages * (1.0 + geometry.op_ratio))
+        self.total_blocks = max(
+            (phys_pages + ppb - 1) // ppb,
+            (self.logical_pages + ppb - 1) // ppb + 4,
+        )
+        #: GC low watermark in blocks.
+        self.gc_watermark_blocks = max(2, int(self.total_blocks * geometry.gc_watermark))
+        #: Logical page -> physical page (only mapped pages present).
+        self.map: Dict[int, int] = {}
+        #: Physical page -> logical page, for valid pages only (GC
+        #: needs the reverse direction to relocate survivors).
+        self._page_lpn: Dict[int, int] = {}
+        #: Per-block valid-page bitmap and count (touched blocks only).
+        self._valid_mask: Dict[int, int] = {}
+        self._valid_count: Dict[int, int] = {}
+        #: Blocks fully programmed and eligible as GC victims.
+        self._sealed: set = set()
+        #: Never-programmed block allocation cursor + erased free pool.
+        self._next_unused = 0
+        self._erased: List[int] = []
+        #: The open block being programmed, and its next page index.
+        self._active: Optional[int] = None
+        self._active_next = 0
+        #: Per-block erase counts (wear) — survives accounting resets.
+        self.erase_counts: Dict[int, int] = {}
+        self.stats = FTLStats()
+
+    # ------------------------------------------------------------------
+    # Derived state
+    # ------------------------------------------------------------------
+    def free_blocks(self) -> int:
+        """Blocks immediately available for programming."""
+        return (self.total_blocks - self._next_unused) + len(self._erased)
+
+    def mapped_pages(self) -> int:
+        return len(self.map)
+
+    def valid_pages(self) -> int:
+        """Total valid pages across all blocks (== mapped pages; the
+        conservation invariant the tests check)."""
+        return sum(self._valid_count.values())
+
+    def write_amplification(self) -> float:
+        if self.stats.host_pages_written == 0:
+            return 1.0
+        return self.stats.flash_pages_written / self.stats.host_pages_written
+
+    def erase_count_max(self) -> int:
+        return max(self.erase_counts.values(), default=0)
+
+    def erase_count_total(self) -> int:
+        return sum(self.erase_counts.values())
+
+    # ------------------------------------------------------------------
+    # Internal mechanics
+    # ------------------------------------------------------------------
+    def _alloc_block(self) -> int:
+        if self._erased:
+            return self._erased.pop()
+        if self._next_unused >= self.total_blocks:
+            raise RuntimeError(
+                "FTL out of physical space: logical writes exceed "
+                "capacity + over-provisioning"
+            )
+        block = self._next_unused
+        self._next_unused += 1
+        return block
+
+    def _invalidate(self, ppn: int) -> None:
+        block, idx = divmod(ppn, self.geom.pages_per_block)
+        bit = 1 << idx
+        mask = self._valid_mask.get(block, 0)
+        if mask & bit:
+            self._valid_mask[block] = mask & ~bit
+            self._valid_count[block] -= 1
+            self._page_lpn.pop(ppn, None)
+
+    def _program(self, lpn: int) -> int:
+        """Map ``lpn`` to the next page of the write frontier."""
+        ppb = self.geom.pages_per_block
+        if self._active is None or self._active_next == ppb:
+            if self._active is not None:
+                self._sealed.add(self._active)
+            self._active = self._alloc_block()
+            self._active_next = 0
+        ppn = self._active * ppb + self._active_next
+        self._active_next += 1
+        old = self.map.get(lpn)
+        if old is not None:
+            self._invalidate(old)
+        self.map[lpn] = ppn
+        self._page_lpn[ppn] = lpn
+        block = self._active
+        self._valid_mask[block] = self._valid_mask.get(block, 0) | (
+            1 << (ppn % ppb)
+        )
+        self._valid_count[block] = self._valid_count.get(block, 0) + 1
+        return ppn
+
+    def _pick_victim(self) -> Optional[int]:
+        """Greedy: the sealed block with the fewest valid pages (ties
+        broken by block id for determinism)."""
+        best = None
+        best_valid = self.geom.pages_per_block
+        for block in self._sealed:
+            valid = self._valid_count.get(block, 0)
+            if valid < best_valid or (valid == best_valid and (best is None or block < best)):
+                best = block
+                best_valid = valid
+        if best is None or best_valid >= self.geom.pages_per_block:
+            return None  # nothing reclaimable
+        return best
+
+    def _collect_once(self) -> float:
+        """Reclaim one victim block; returns the device seconds spent."""
+        victim = self._pick_victim()
+        if victim is None:
+            return 0.0
+        g = self.geom
+        ppb = g.pages_per_block
+        base = victim * ppb
+        mask = self._valid_mask.get(victim, 0)
+        survivors = [base + i for i in range(ppb) if mask & (1 << i)]
+        seconds = 0.0
+        per_copy = g.read_lat + g.prog_lat + g.gc_page_overhead
+        for ppn in survivors:
+            lpn = self._page_lpn.get(ppn)
+            if lpn is None:
+                continue
+            self._invalidate(ppn)
+            self._program(lpn)
+            seconds += per_copy
+        copied = len(survivors)
+        self._sealed.discard(victim)
+        self._valid_mask.pop(victim, None)
+        self._valid_count.pop(victim, None)
+        self._erased.append(victim)
+        self.erase_counts[victim] = self.erase_counts.get(victim, 0) + 1
+        seconds += g.erase_lat
+        self.stats.gc_runs += 1
+        self.stats.gc_pages_copied += copied
+        self.stats.flash_pages_written += copied
+        self.stats.erases += 1
+        self.stats.gc_time += seconds
+        return seconds
+
+    def _maybe_gc(self) -> float:
+        seconds = 0.0
+        # Bounded: each reclaim erases >= 1 invalid page, so this
+        # terminates; the guard caps pathological near-full devices.
+        guard = 2 * self.total_blocks
+        while self.free_blocks() < self.gc_watermark_blocks and guard > 0:
+            step = self._collect_once()
+            if step == 0.0:
+                break  # every sealed block fully valid: nothing to gain
+            seconds += step
+            guard -= 1
+        return seconds
+
+    # ------------------------------------------------------------------
+    # Host-facing operations (called by BlockDevice)
+    # ------------------------------------------------------------------
+    def _page_span(self, offset: int, length: int, cover: bool) -> range:
+        """Logical pages for a byte range: every touched page when
+        ``cover`` (writes reprogram whole pages), only fully covered
+        pages otherwise (TRIM must not discard partial pages)."""
+        page = self.geom.page_size
+        if cover:
+            return range(offset // page, (offset + max(length, 1) + page - 1) // page)
+        return range((offset + page - 1) // page, (offset + length) // page)
+
+    def host_write(self, offset: int, length: int) -> float:
+        """Account a host write; returns GC seconds the write must
+        absorb (0.0 while free blocks remain above the watermark)."""
+        pages = self._page_span(offset, length, cover=True)
+        for lpn in pages:
+            self._program(lpn)
+        n = len(pages)
+        self.stats.host_pages_written += n
+        self.stats.flash_pages_written += n
+        return self._maybe_gc()
+
+    def trim(self, offset: int, length: int) -> int:
+        """Unmap fully covered pages; returns how many were mapped."""
+        dropped = 0
+        for lpn in self._page_span(offset, length, cover=False):
+            ppn = self.map.pop(lpn, None)
+            if ppn is not None:
+                self._invalidate(ppn)
+                dropped += 1
+        self.stats.trimmed_pages += dropped
+        return dropped
+
+    # ------------------------------------------------------------------
+    # Aging & snapshots
+    # ------------------------------------------------------------------
+    def age(self, utilization: float = 0.9, churn: float = 0.5, seed: int = 1234) -> None:
+        """Synthesize a steady-state device: fill ``utilization`` of the
+        logical space, then rewrite a random ``churn`` fraction of it so
+        valid pages scatter across blocks (fragmentation).  Charges no
+        simulated time and resets the accounting afterwards, so write
+        amplification measured by a subsequent workload reflects only
+        that workload running against the aged state.  Per-block erase
+        counts (wear) are preserved.
+        """
+        import random
+
+        n = min(self.logical_pages, int(self.logical_pages * utilization))
+        for lpn in range(n):
+            self._program(lpn)
+            self._maybe_gc()
+        rng = random.Random(seed)
+        for _ in range(int(n * churn)):
+            self._program(rng.randrange(n))
+            self._maybe_gc()
+        self.stats.reset()
+
+    def clone(self) -> "FlashTranslationLayer":
+        """An independent copy of the full FTL state, for crash images
+        (an aged device's twin must reboot equally aged)."""
+        twin = FlashTranslationLayer.__new__(FlashTranslationLayer)
+        twin.geom = self.geom
+        twin.logical_pages = self.logical_pages
+        twin.total_blocks = self.total_blocks
+        twin.gc_watermark_blocks = self.gc_watermark_blocks
+        twin.map = dict(self.map)
+        twin._page_lpn = dict(self._page_lpn)
+        twin._valid_mask = dict(self._valid_mask)
+        twin._valid_count = dict(self._valid_count)
+        twin._sealed = set(self._sealed)
+        twin._next_unused = self._next_unused
+        twin._erased = list(self._erased)
+        twin._active = self._active
+        twin._active_next = self._active_next
+        twin.erase_counts = dict(self.erase_counts)
+        twin.stats = FTLStats(
+            host_pages_written=self.stats.host_pages_written,
+            flash_pages_written=self.stats.flash_pages_written,
+            gc_pages_copied=self.stats.gc_pages_copied,
+            gc_runs=self.stats.gc_runs,
+            erases=self.stats.erases,
+            trimmed_pages=self.stats.trimmed_pages,
+            gc_time=self.stats.gc_time,
+        )
+        return twin

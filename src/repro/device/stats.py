@@ -23,8 +23,10 @@ class IOStats:
     reads: int = 0
     writes: int = 0
     flushes: int = 0
+    discards: int = 0
     bytes_read: int = 0
     bytes_written: int = 0
+    bytes_discarded: int = 0
     #: Pre-sector-rounding byte counts (what callers actually asked
     #: for); the rounded counts above are what the device transferred.
     raw_bytes_read: int = 0
@@ -81,14 +83,22 @@ class IOStats:
         self.busy_time += duration
         self.flush_time += duration
 
+    def record_discard(self, nbytes: int, duration: float) -> None:
+        """Account one TRIM/discard command."""
+        self.discards += 1
+        self.bytes_discarded += nbytes
+        self.busy_time += duration
+
     def snapshot(self) -> "IOStats":
         """A copy of the counters (for before/after comparisons)."""
         snap = IOStats(
             reads=self.reads,
             writes=self.writes,
             flushes=self.flushes,
+            discards=self.discards,
             bytes_read=self.bytes_read,
             bytes_written=self.bytes_written,
+            bytes_discarded=self.bytes_discarded,
             raw_bytes_read=self.raw_bytes_read,
             raw_bytes_written=self.raw_bytes_written,
             seq_reads=self.seq_reads,
@@ -108,8 +118,10 @@ class IOStats:
             reads=self.reads - earlier.reads,
             writes=self.writes - earlier.writes,
             flushes=self.flushes - earlier.flushes,
+            discards=self.discards - earlier.discards,
             bytes_read=self.bytes_read - earlier.bytes_read,
             bytes_written=self.bytes_written - earlier.bytes_written,
+            bytes_discarded=self.bytes_discarded - earlier.bytes_discarded,
             raw_bytes_read=self.raw_bytes_read - earlier.raw_bytes_read,
             raw_bytes_written=self.raw_bytes_written - earlier.raw_bytes_written,
             seq_reads=self.seq_reads - earlier.seq_reads,

@@ -37,10 +37,12 @@ def main(argv=None) -> int:
     )
     parser.add_argument(
         "target",
-        choices=["table1", "table3", "fig2", "hdd", "all", "stats"],
+        choices=["table1", "table3", "fig2", "hdd", "all", "stats", "ftl"],
         help="which artifact to regenerate (hdd = the prior-work "
         "'compleat on an HDD' context for BetrFS v0.4; stats = run a "
-        "workload and print the per-layer observability tables)",
+        "workload and print the per-layer observability tables; ftl = "
+        "age a tiny flash device and report WA / GC-pause / erase "
+        "telemetry)",
     )
     parser.add_argument(
         "--scale",
@@ -104,6 +106,15 @@ def main(argv=None) -> int:
                 figures=args.figures, systems=args.systems, scale=scale, verbose=verbose
             )
             print(render_figures(figures))
+        if args.target == "ftl":
+            from repro.harness.ftl import run_ftl_smoke
+
+            systems = args.systems or ["BetrFS v0.6"]
+            tables = {
+                name: run_ftl_smoke(scale=scale, system=name, verbose=verbose)
+                for name in systems
+            }
+            print(json.dumps(tables, indent=1))
         if args.target == "stats":
             # Run a representative workload (default: the tar figure)
             # and print the per-layer observability tables.

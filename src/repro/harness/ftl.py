@@ -1,0 +1,126 @@
+"""FTL smoke: a short workload on a small, aged flash device.
+
+The default device profiles are large enough that garbage collection
+never triggers during a scaled benchmark run — which is the point
+(fresh-device timings stay calibrated) but means the FTL model itself
+would go unexercised.  This target mounts a file system on a
+deliberately tiny FTL-backed device, ages it to a fragmented steady
+state, runs a random-overwrite workload that pushes past the
+over-provisioning, and reports the flash-level telemetry: write
+amplification, GC pause tail, erase counts, and TRIM traffic.
+
+Used by CI (``python -m repro.harness ftl --scale smoke``) to assert
+that the FTL metrics pipeline emits sane values end-to-end.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict
+
+from repro.betrfs.filesystem import MIB, MountOptions, make_betrfs
+from repro.model.profiles import small_ftl_profile
+from repro.workloads.aging import age_device
+from repro.workloads.scale import SMOKE_SCALE, WorkloadScale
+
+PAGE = 4096
+_PATTERN = bytes(PAGE)
+
+
+def _small_mount(name: str, scale: WorkloadScale, profile):
+    """Mount ``name`` on the tiny FTL device (regions shrunk to fit)."""
+    opts = MountOptions(
+        profile=profile,
+        scale=scale.geometry,
+        page_cache_bytes=min(scale.page_cache_bytes, 4 * MIB),
+        dirty_limit_bytes=min(scale.dirty_limit_bytes, 1 * MIB),
+        log_size=4 * MIB,
+        meta_size=8 * MIB,
+        data_size=profile.capacity - 20 * MIB,
+        tree_cache_bytes=min(scale.tree_cache_bytes or 4 * MIB, 4 * MIB),
+    )
+    return make_betrfs(name, opts)
+
+
+def run_ftl_smoke(
+    scale: WorkloadScale = SMOKE_SCALE,
+    system: str = "BetrFS v0.6",
+    file_bytes: int = 6 * MIB,
+    overwrite_ops: int = 3072,
+    verbose: bool = False,
+    seed: int = 7,
+) -> Dict[str, float]:
+    """Age a tiny device, hammer it with random overwrites, report.
+
+    Returns the flash telemetry dict and raises ``AssertionError`` if
+    the FTL pipeline failed to emit the expected signals (WA above
+    1.0 with GC pauses recorded, discards accounted, gauges present
+    in the metrics collection).
+    """
+    profile = small_ftl_profile(capacity=48 * MIB)
+    mount = _small_mount(system, scale, profile)
+    age_device(mount.device, utilization=0.88, churn=0.6, seed=seed)
+
+    vfs = mount.vfs
+    path = "/aged-target"
+    vfs.create(path)
+    pos = 0
+    chunk = _PATTERN * 64  # 256 KiB
+    while pos < file_bytes:
+        vfs.write(path, pos, chunk[: min(len(chunk), file_bytes - pos)])
+        pos += len(chunk)
+    vfs.fsync(path)
+
+    rng = random.Random(seed)
+    nblocks = file_bytes // PAGE
+    start = mount.clock.now
+    for i in range(overwrite_ops):
+        vfs.write(path, rng.randrange(nblocks) * PAGE, _PATTERN)
+        if i % 256 == 255:
+            vfs.fsync(path)
+    vfs.fsync(path)
+    elapsed = mount.clock.now - start
+
+    device = mount.device
+    ftl = device.ftl
+    gc_hist = mount.obs.latency("device.gc_pause", layer="device")
+    out: Dict[str, float] = {
+        "write_amplification": ftl.write_amplification(),
+        "host_pages_written": ftl.stats.host_pages_written,
+        "flash_pages_written": ftl.stats.flash_pages_written,
+        "gc_runs": ftl.stats.gc_runs,
+        "gc_pages_copied": ftl.stats.gc_pages_copied,
+        "gc_time_s": ftl.stats.gc_time,
+        "gc_pause_count": gc_hist.count,
+        "gc_pause_p99_ms": (gc_hist.percentile(99) or 0.0) * 1e3,
+        "erases": ftl.stats.erases,
+        "erase_count_max": ftl.erase_count_max(),
+        "trimmed_pages": ftl.stats.trimmed_pages,
+        "discards": device.stats.discards,
+        "bytes_discarded": device.stats.bytes_discarded,
+        "free_blocks": ftl.free_blocks(),
+        "throughput_mb_s": (overwrite_ops * PAGE / 1e6) / elapsed,
+    }
+
+    # The point of the smoke: the whole pipeline emitted signal.
+    assert out["write_amplification"] > 1.0, out
+    assert out["gc_runs"] > 0 and out["gc_pause_count"] > 0, out
+    assert out["erases"] > 0, out
+    assert out["discards"] > 0, out
+    collected = mount.obs.collect()
+    gauges = {
+        m["name"] for m in collected["metrics"] if m["kind"] == "gauge"
+    }
+    for required in (
+        "ftl.write_amplification",
+        "ftl.free_blocks",
+        "ftl.erase_count_max",
+    ):
+        assert required in gauges, f"missing gauge {required}: {sorted(gauges)}"
+    assert "device.ftl" in collected["objects"], collected["objects"].keys()
+
+    if verbose:
+        print(f"  [ftl] {system} on {profile.name} (aged)")
+        for key, value in out.items():
+            print(f"  {key:22s} {value:12.3f}", flush=True)
+    return out

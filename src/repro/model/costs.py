@@ -30,6 +30,28 @@ from __future__ import annotations
 
 from dataclasses import dataclass, replace
 
+# ----------------------------------------------------------------------
+# Flash translation layer costs (device-internal, seconds)
+# ----------------------------------------------------------------------
+# These are charged on the *device* timeline by the page-mapped FTL
+# (repro/device/ftl.py) when garbage collection runs, not on the host
+# CPU.  Magnitudes are TLC-NAND-class: a flash page read is tens of
+# microseconds, a program a few hundred, a block erase milliseconds.
+# A GC cycle relocating V valid pages from a victim block costs
+# ``V * (read + program + overhead) + erase`` — the paper's device
+# pushes back with exactly these pauses once an SSD reaches steady
+# state, which is why update-in-place random writes degrade on aged
+# devices while log-structured writes (and TRIM) keep GC cheap.
+
+#: Flash page read during a GC valid-page copy.
+FTL_GC_READ_LAT = 60.0e-6
+#: Flash page program during a GC valid-page copy.
+FTL_GC_PROG_LAT = 250.0e-6
+#: Firmware bookkeeping per copied page (mapping + OOB update).
+FTL_GC_PAGE_OVERHEAD = 4.0e-6
+#: Block erase.
+FTL_ERASE_LAT = 2.0e-3
+
 
 @dataclass
 class CostModel:

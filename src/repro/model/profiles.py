@@ -9,11 +9,56 @@ the data size is larger than 12 GB").
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
+from typing import Optional
+
+from repro.model.costs import (
+    FTL_ERASE_LAT,
+    FTL_GC_PAGE_OVERHEAD,
+    FTL_GC_PROG_LAT,
+    FTL_GC_READ_LAT,
+)
 
 KIB = 1024
 MIB = 1024 * KIB
 GIB = 1024 * MIB
+
+
+@dataclass(frozen=True)
+class FTLGeometry:
+    """Flash geometry and internal latencies of a page-mapped FTL.
+
+    Attached to a :class:`DeviceProfile`; ``None`` means the device has
+    no FTL model (HDDs, the null device).  The FTL charges time only
+    when garbage collection runs — a fresh device with free blocks
+    behaves exactly like the bare bandwidth/latency profile, so the
+    steady-state effects (write amplification, GC tail latency) appear
+    only once the device has been filled past its over-provisioning.
+    """
+
+    #: Flash page size in bytes (the mapping granularity).
+    page_size: int = 4096
+    #: Pages per erase block.
+    pages_per_block: int = 64
+    #: Physical space beyond the advertised capacity, as a fraction
+    #: (7% is typical for consumer drives: 256 GB of flash sold as
+    #: 250 GB... actually as 238 usable GiB).
+    op_ratio: float = 0.07
+    #: Flash page read during a GC copy, seconds.
+    read_lat: float = FTL_GC_READ_LAT
+    #: Flash page program during a GC copy, seconds.
+    prog_lat: float = FTL_GC_PROG_LAT
+    #: Per-copied-page firmware bookkeeping, seconds.
+    gc_page_overhead: float = FTL_GC_PAGE_OVERHEAD
+    #: Block erase, seconds.
+    erase_lat: float = FTL_ERASE_LAT
+    #: GC starts when free blocks drop below this fraction of all
+    #: physical blocks (never below 2 blocks).
+    gc_watermark: float = 0.02
+
+    @property
+    def block_size(self) -> int:
+        return self.page_size * self.pages_per_block
 
 
 @dataclass(frozen=True)
@@ -46,6 +91,8 @@ class DeviceProfile:
     cmd_overhead: float
     #: Logical sector size in bytes; all I/O is rounded up to this.
     sector: int = 4096
+    #: Flash translation layer geometry (None = no FTL simulation).
+    ftl: Optional[FTLGeometry] = None
 
     def transfer_time(self, nbytes: int, write: bool, cache_exceeded: bool) -> float:
         """Pure transfer time of ``nbytes`` at the applicable bandwidth."""
@@ -72,6 +119,7 @@ COMMODITY_SSD = DeviceProfile(
     rand_write_lat=140e-6,
     flush_lat=400e-6,
     cmd_overhead=8e-6,
+    ftl=FTLGeometry(),
 )
 
 #: The paper's boot HDD: 500 GB Toshiba DT01ACA0 (7200 RPM class).
@@ -113,9 +161,31 @@ def scaled_profile(base: DeviceProfile, cache_scale: float) -> DeviceProfile:
     measured ("drops to 392 MB/s when the data size is larger than
     12 GB") never appears.
     """
-    from dataclasses import replace
-
     return replace(base, write_cache=int(base.write_cache * cache_scale))
+
+
+def small_ftl_profile(
+    capacity: int = 48 * MIB,
+    base: DeviceProfile = COMMODITY_SSD,
+    op_ratio: float = 0.07,
+) -> DeviceProfile:
+    """A small-capacity FTL-enabled profile for aging experiments.
+
+    Steady-state SSD effects need the device filled past its
+    over-provisioning; at the paper's 250 GB that is impractical in a
+    scaled simulation, so aging workloads and the FTL tests run on a
+    capacity small enough to fill (and to keep the FTL's per-block
+    structures cheap).  The write cache shrinks with the capacity, like
+    :func:`scaled_profile`.
+    """
+    assert base.ftl is not None, "base profile has no FTL geometry"
+    return replace(
+        base,
+        name=f"{base.name}-ftl-{capacity >> 20}m",
+        capacity=capacity,
+        write_cache=min(base.write_cache, capacity // 8),
+        ftl=replace(base.ftl, op_ratio=op_ratio),
+    )
 
 
 #: The benchmark profile: 860 EVO with the write cache scaled 1/2560.

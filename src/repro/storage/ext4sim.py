@@ -162,6 +162,14 @@ class Ext4Southbound(Southbound):
             rest = self.read(token.name, token.offset + first, token.length - first)
         return head[: token.length] + rest
 
+    def discard(self, name: str, offset: int, length: int) -> None:
+        """Punch-hole through the stacked file system (ext4 mounted
+        with ``-o discard`` forwards the freed extents to the device)."""
+        if length <= 0:
+            return
+        dev_off = self._map(name, offset, length)
+        self.device.discard(dev_off, length)
+
     def sync(self, name: str) -> None:
         """fsync through the stacked file system: *double journaling*.
 

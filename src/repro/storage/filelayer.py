@@ -74,6 +74,15 @@ class Southbound:
         """fsync: make all writes to ``name`` durable."""
         raise NotImplementedError
 
+    def discard(self, name: str, offset: int, length: int) -> None:
+        """TRIM a byte range of ``name`` down to the device.
+
+        Called by the free paths (checkpoint extent reclamation, log
+        truncation) so the FTL underneath learns which pages hold dead
+        data.  Substrates map the file range to device offsets.
+        """
+        raise NotImplementedError
+
     # ------------------------------------------------------------------
     # Shared helpers
     # ------------------------------------------------------------------

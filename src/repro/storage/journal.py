@@ -33,7 +33,12 @@ class Journal:
 
     def _append(self, data: bytes) -> None:
         if self.head + len(data) > self.region_size:
-            self.head = 0  # circular wrap; checkpointing is implicit
+            # Circular wrap; checkpointing is implicit.  The whole
+            # region is about to be rewritten — TRIM it so the FTL
+            # treats the stale journal pages as dead instead of
+            # relocating them during garbage collection.
+            self.device.discard(self.region_offset, self.head)
+            self.head = 0
         self.device.write(self.region_offset + self.head, data)
         self.head += len(data)
 

@@ -105,3 +105,10 @@ class SimpleFileLayer(Southbound):
         """Synchronous-write guarantee only; no journaling (§3.1)."""
         self._wait_pending(name)
         self.device.flush()
+
+    def discard(self, name: str, offset: int, length: int) -> None:
+        """Static layout makes TRIM a straight range mapping."""
+        if length <= 0:
+            return
+        dev_off = self._map(name, offset, length)
+        self.device.discard(dev_off, length)

@@ -10,6 +10,7 @@ the paper's testbed (32 GB RAM, 250 GB SSD, 80 GiB files, millions of
 files), while Python wall-clock time stays manageable.
 """
 
+from repro.workloads.aging import age_device
 from repro.workloads.scale import WorkloadScale, DEFAULT_SCALE, SMOKE_SCALE
 from repro.workloads.sequential import seq_read, seq_write
 from repro.workloads.randwrite import random_write_4b, random_write_4k
@@ -28,6 +29,7 @@ from repro.workloads.filebench import (
 )
 
 __all__ = [
+    "age_device",
     "WorkloadScale",
     "DEFAULT_SCALE",
     "SMOKE_SCALE",

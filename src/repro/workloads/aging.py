@@ -1,0 +1,52 @@
+"""Device preconditioning (FTL aging).
+
+Fresh-out-of-box SSDs overstate steady-state performance: every write
+lands on a pre-erased block and garbage collection never runs.  The
+paper's evaluation (like all serious SSD benchmarking) measures aged
+devices, where the FTL is fragmented and host writes stall behind
+GC.  :func:`age_device` fabricates that steady state synthetically —
+it fragments the FTL's physical state (valid/invalid page mix, partly
+consumed over-provisioning) without writing any logical bytes, so the
+file system's on-device content is untouched and the aging itself
+costs no simulated or wall-clock I/O time.
+
+Typical use::
+
+    mount = make_mount("BetrFS v0.6", scale, profile=small_ftl_profile())
+    age_device(mount.device, utilization=0.9, churn=0.5)
+    random_write_4k(mount, scale)   # now pays realistic GC stalls
+"""
+
+from __future__ import annotations
+
+from repro.device.block import BlockDevice
+from repro.device.ftl import FlashTranslationLayer
+
+
+def age_device(
+    device: BlockDevice,
+    utilization: float = 0.9,
+    churn: float = 0.5,
+    seed: int = 1234,
+) -> FlashTranslationLayer:
+    """Precondition ``device``'s FTL to a fragmented steady state.
+
+    ``utilization`` is the fraction of logical pages mapped after
+    aging; ``churn`` scales how many random overwrites are replayed on
+    top of the sequential fill (more churn → more dead pages spread
+    across more blocks → closer to worst-case GC).  Accounting
+    counters (write amplification, GC time, erase *stats*) are reset
+    afterwards so subsequent measurements see only post-aging work;
+    accumulated per-block wear is preserved.
+
+    Returns the aged FTL for convenience.  Raises ``ValueError`` for
+    devices without an FTL (HDD profiles): aging is meaningless there
+    and silently skipping it would invalidate the measurement.
+    """
+    ftl = device.ftl
+    if ftl is None:
+        raise ValueError(
+            f"device profile {device.profile.name!r} has no FTL to age"
+        )
+    ftl.age(utilization=utilization, churn=churn, seed=seed)
+    return ftl
