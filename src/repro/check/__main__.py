@@ -1,0 +1,27 @@
+"""CLI entry point: ``python -m repro.check lint [paths] [--no-allowlist]``."""
+
+from __future__ import annotations
+
+import sys
+from typing import List, Optional
+
+from repro.check import lint
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if not argv or argv[0] in ("-h", "--help"):
+        print(
+            "usage: python -m repro.check lint [paths ...] [--no-allowlist]",
+            file=sys.stderr,
+        )
+        return 0 if argv else 2
+    command, rest = argv[0], argv[1:]
+    if command == "lint":
+        return lint.main(rest)
+    print(f"repro.check: unknown command {command!r}", file=sys.stderr)
+    return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,63 @@
+"""Typed errors for the checking subsystem.
+
+Sanitizer and fsck failures must survive ``python -O`` (which strips
+``assert`` statements), so invariants raise these exceptions instead of
+asserting.  :func:`require` is the one-line replacement for a bare
+``assert``: it always runs, and it names the violated invariant.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Type
+
+
+class CheckError(Exception):
+    """Base of every error raised by ``repro.check``."""
+
+
+class InvariantError(CheckError):
+    """A machine-checked invariant of the simulation was violated.
+
+    Raised (never ``assert``-ed) so the guardrails hold under
+    ``python -O``.  Subclasses identify which sanitizer tripped.
+    """
+
+
+class TreeInvariantError(InvariantError):
+    """Bε-tree structural invariant violated (pivots, routing, sizes)."""
+
+
+class CostInvariantError(InvariantError):
+    """Cost-accounting invariant violated (clock monotonicity,
+    double-charged or uncharged device work)."""
+
+
+class AllocInvariantError(InvariantError):
+    """Allocator / extent / FTL invariant violated (double-free,
+    overlapping extents, logical→physical map divergence)."""
+
+
+class CacheInvariantError(InvariantError):
+    """Node-cache invariant violated (pin/unpin imbalance, dirty
+    eviction, aliased cache entries)."""
+
+
+class FsckError(CheckError):
+    """Offline fsck found structural damage in a crash image."""
+
+
+def require(
+    condition: bool,
+    message: str,
+    exc: Type[InvariantError] = InvariantError,
+    detail: Optional[object] = None,
+) -> None:
+    """Raise ``exc`` unless ``condition`` holds.
+
+    Unlike ``assert`` this is never compiled out, so sanitizer checks
+    keep firing under ``python -O``.
+    """
+    if not condition:
+        if detail is not None:
+            message = f"{message}: {detail!r}"
+        raise exc(message)

@@ -1,0 +1,561 @@
+"""Offline fsck for crash images (``python -m repro.harness fsck``).
+
+Walks a device image the way recovery would — superblock → checkpoint
+(block tables) → node graph → WAL → FTL — and verifies structural
+integrity instead of replaying.  Crash/recovery tests use it so
+"recovers bit-identically" becomes "recovers *and* fscks clean".
+
+The walk is fully offline: all reads go straight to the image's
+:class:`~repro.device.block.ExtentStore`, so no simulated time is
+charged and no device state is perturbed.
+
+Checks, in walk order:
+
+* **superblock** — at least one of the two ping-pong slots decodes
+  with a valid CRC (an image with a zeroed superblock region is a
+  legal pre-first-checkpoint state and only downgrades to a log-only
+  walk);
+* **checkpoint** — each tree's block table deserializes, every extent
+  lies inside its file region, no two extents (table or free list)
+  overlap, and the root id resolves;
+* **nodes** — every node reachable from each root: CRC verifies
+  (after decompression when the ``BFCZ`` magic is present), the
+  decoded id matches the table entry, heights descend by exactly one,
+  pivots are ordered, every key/pivot respects the routing range
+  inherited from the parent, no cycles, and — since nodes are never
+  dropped — every table entry is reachable;
+* **WAL** — the circular log scans cleanly from the checkpointed head
+  with strictly increasing LSNs (a torn tail entry is where recovery
+  stops, not an error), and a clean-shutdown superblock implies an
+  empty post-checkpoint log;
+* **FTL** — when the image carries FTL state: the valid-page
+  conservation law holds and every fully stored page is mapped
+  (functional model and accounting model describe the same bytes).
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple, Union
+
+from repro.check.errors import FsckError
+from repro.core.checkpoint import BlockManager, Superblock
+from repro.core.node import InternalNode, LeafNode
+from repro.core.serialize import ChecksumError, decode_node, verify_crc
+from repro.core.wal import WriteAheadLog
+from repro.device.block import BlockDevice, ExtentStore
+from repro.storage.sfl import SUPERBLOCK_SIZE
+
+#: Compressed on-disk node prefix (mirrors ``repro.core.tree``).
+_COMPRESSED_MAGIC = b"BFCZ"
+
+#: On-disk image container magic + version.
+IMAGE_MAGIC = b"BFIM"
+IMAGE_VERSION = 1
+
+#: Tree files in superblock root_ids order, with their layout slot.
+_TREE_FILES = ("meta.db", "data.db")
+
+
+@dataclass
+class FsckReport:
+    """Outcome of one fsck run."""
+
+    errors: List[str] = field(default_factory=list)
+    warnings: List[str] = field(default_factory=list)
+    nodes_checked: int = 0
+    trees_checked: int = 0
+    wal_entries: int = 0
+    superblock_generation: Optional[int] = None
+    clean_shutdown: bool = False
+
+    @property
+    def ok(self) -> bool:
+        return not self.errors
+
+    def error(self, message: str) -> None:
+        self.errors.append(message)
+
+    def warn(self, message: str) -> None:
+        self.warnings.append(message)
+
+    def raise_if_errors(self) -> None:
+        if self.errors:
+            raise FsckError(
+                f"fsck found {len(self.errors)} error(s): "
+                + "; ".join(self.errors[:8])
+            )
+
+    def render(self) -> str:
+        lines = [
+            "fsck: "
+            + ("CLEAN" if self.ok else f"{len(self.errors)} ERROR(S)"),
+            f"  superblock generation: {self.superblock_generation}"
+            f" (clean_shutdown={self.clean_shutdown})",
+            f"  trees checked: {self.trees_checked}"
+            f", nodes checked: {self.nodes_checked}"
+            f", wal entries past checkpoint: {self.wal_entries}",
+        ]
+        for err in self.errors:
+            lines.append(f"  ERROR: {err}")
+        for warning in self.warnings:
+            lines.append(f"  warning: {warning}")
+        return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Layout
+# ----------------------------------------------------------------------
+@dataclass
+class _Layout:
+    """SFL static partition offsets (mirrors ``repro.storage.sfl``)."""
+
+    log_size: int
+    meta_size: int
+    capacity: int
+
+    @property
+    def log_base(self) -> int:
+        return SUPERBLOCK_SIZE
+
+    @property
+    def meta_base(self) -> int:
+        return SUPERBLOCK_SIZE + self.log_size
+
+    @property
+    def data_base(self) -> int:
+        return self.meta_base + self.meta_size
+
+    @property
+    def data_size(self) -> int:
+        return self.capacity - self.data_base
+
+    def tree_region(self, index: int) -> Tuple[int, int]:
+        if index == 0:
+            return self.meta_base, self.meta_size
+        return self.data_base, self.data_size
+
+
+# ----------------------------------------------------------------------
+# The walk
+# ----------------------------------------------------------------------
+def fsck_device(
+    device: Union[BlockDevice, ExtentStore],
+    log_size: int,
+    meta_size: int,
+    capacity: Optional[int] = None,
+    aligned: bool = False,
+) -> FsckReport:
+    """Check one device image; returns a :class:`FsckReport`.
+
+    ``device`` is a :class:`BlockDevice` (usually a
+    :meth:`~repro.device.block.BlockDevice.crash_image`) or a bare
+    :class:`ExtentStore` (an image loaded from disk — FTL checks are
+    skipped, there is no FTL state in the container).  ``log_size`` /
+    ``meta_size`` are the SFL carve sizes the image was created with;
+    ``aligned`` is the tree's ``page_sharing`` layout flag.
+    """
+    report = FsckReport()
+    if isinstance(device, BlockDevice):
+        store = device.store
+        ftl = device.ftl
+        if capacity is None:
+            capacity = device.profile.capacity
+    else:
+        store = device
+        ftl = None
+        if capacity is None:
+            # A bare store has no profile; everything stored bounds it.
+            capacity = max(
+                (off + len(data) for off, data in store.snapshot()),
+                default=0,
+            )
+    layout = _Layout(log_size=log_size, meta_size=meta_size, capacity=capacity)
+
+    sb = _check_superblock(store, report)
+    if sb is not None:
+        _check_trees(store, layout, sb, report, aligned)
+        _check_wal(store, layout, sb, report)
+    else:
+        # Pre-first-checkpoint image: the only durable state is the
+        # log, replayed from offset 0.
+        fresh = Superblock()
+        fresh.log_head = 0
+        fresh.checkpoint_lsn = 0
+        _check_wal(store, layout, fresh, report)
+    if ftl is not None:
+        _check_ftl(store, ftl, report)
+    return report
+
+
+def _check_superblock(store: ExtentStore, report: FsckReport) -> Optional[Superblock]:
+    slot0 = store.read(0, Superblock.SLOT_SIZE)
+    slot1 = store.read(Superblock.SLOT_SIZE, Superblock.SLOT_SIZE)
+    sb = Superblock.load_latest(slot0, slot1)
+    if sb is None:
+        if slot0.strip(b"\x00") or slot1.strip(b"\x00"):
+            report.error(
+                "superblock region holds data but neither slot decodes "
+                "(both checkpoints torn or corrupt)"
+            )
+        else:
+            report.warn("no checkpoint committed yet (log-only image)")
+        return None
+    report.superblock_generation = sb.generation
+    report.clean_shutdown = sb.clean_shutdown
+    if len(sb.root_ids) != len(sb.block_tables):
+        report.error(
+            f"superblock: {len(sb.root_ids)} roots but "
+            f"{len(sb.block_tables)} block tables"
+        )
+        return None
+    return sb
+
+
+def _check_trees(
+    store: ExtentStore,
+    layout: _Layout,
+    sb: Superblock,
+    report: FsckReport,
+    aligned: bool,
+) -> None:
+    for index, (root_id, table_blob) in enumerate(
+        zip(sb.root_ids, sb.block_tables)
+    ):
+        name = _TREE_FILES[index] if index < len(_TREE_FILES) else f"tree{index}"
+        try:
+            blockman = BlockManager.deserialize(table_blob)
+        except (struct.error, ValueError) as exc:
+            report.error(f"{name}: block table does not deserialize ({exc})")
+            continue
+        base, size = layout.tree_region(index)
+        _check_blockman(name, blockman, size, report)
+        _walk_tree(
+            store, name, base, blockman, root_id, sb, report, aligned
+        )
+        report.trees_checked += 1
+
+
+def _check_blockman(
+    name: str, blockman: BlockManager, region_size: int, report: FsckReport
+) -> None:
+    spans: List[Tuple[int, int, str]] = []
+    for node_id, (off, ln) in blockman.table.items():
+        if ln <= 0 or off < 0 or off + ln > blockman.file_size:
+            report.error(
+                f"{name}: node {node_id} extent ({off}, {ln}) out of "
+                f"file bounds ({blockman.file_size})"
+            )
+            continue
+        spans.append((off, blockman._align(ln), f"node {node_id}"))
+    if blockman.file_size > region_size:
+        report.error(
+            f"{name}: block table file_size {blockman.file_size} exceeds "
+            f"the carved region ({region_size})"
+        )
+    for off, ln in blockman.free_list:
+        if off < 0 or off + ln > blockman.file_size:
+            report.error(
+                f"{name}: free extent ({off}, {ln}) out of file bounds"
+            )
+            continue
+        spans.append((off, ln, "free extent"))
+    spans.sort()
+    for i in range(1, len(spans)):
+        p_off, p_len, p_what = spans[i - 1]
+        c_off, _c_len, c_what = spans[i]
+        if p_off + p_len > c_off:
+            report.error(
+                f"{name}: {p_what} at ({p_off}, {p_len}) overlaps "
+                f"{c_what} at {c_off}"
+            )
+
+
+def _read_node_bytes(
+    store: ExtentStore, file_base: int, off: int, ln: int
+) -> bytes:
+    data = store.read(file_base + off, ln)
+    if data[:4] == _COMPRESSED_MAGIC:
+        (orig_len,) = struct.unpack_from("<I", data, 4)
+        data = zlib.decompress(data[8:])
+        if len(data) != orig_len:
+            raise ChecksumError(
+                f"decompressed length {len(data)} != header {orig_len}"
+            )
+    return data
+
+
+def _walk_tree(
+    store: ExtentStore,
+    name: str,
+    file_base: int,
+    blockman: BlockManager,
+    root_id: int,
+    sb: Superblock,
+    report: FsckReport,
+    aligned: bool,
+) -> None:
+    if root_id not in blockman.table:
+        report.error(f"{name}: root node {root_id} has no extent")
+        return
+    visited: set = set()
+    # (node_id, routing lo, routing hi, expected height or None)
+    stack: List[Tuple[int, Optional[bytes], Optional[bytes], Optional[int]]] = [
+        (root_id, None, None, None)
+    ]
+    while stack:
+        node_id, lo, hi, want_height = stack.pop()
+        if node_id in visited:
+            report.error(f"{name}: node {node_id} reachable twice (cycle)")
+            continue
+        visited.add(node_id)
+        if node_id >= sb.next_node_id:
+            report.error(
+                f"{name}: node id {node_id} >= superblock next_node_id "
+                f"{sb.next_node_id}"
+            )
+        entry = blockman.table.get(node_id)
+        if entry is None:
+            report.error(f"{name}: node {node_id} referenced but not in table")
+            continue
+        off, ln = entry
+        try:
+            data = _read_node_bytes(store, file_base, off, ln)
+            verify_crc(data)
+            node = decode_node(data, aligned=aligned, verify=False)
+        except (ChecksumError, ValueError, struct.error, zlib.error) as exc:
+            report.error(f"{name}: node {node_id} unreadable: {exc}")
+            continue
+        report.nodes_checked += 1
+        if node.node_id != node_id:
+            report.error(
+                f"{name}: extent for node {node_id} decodes as node "
+                f"{node.node_id}"
+            )
+            continue
+        if want_height is not None and node.height != want_height:
+            report.error(
+                f"{name}: node {node_id} has height {node.height}, parent "
+                f"expects {want_height}"
+            )
+        _check_node_shape(name, node, lo, hi, sb, report)
+        if isinstance(node, InternalNode):
+            for idx, child in enumerate(node.children):
+                c_lo, c_hi = node.child_range(idx)
+                if lo is not None and (c_lo is None or c_lo < lo):
+                    c_lo = lo
+                if hi is not None and (c_hi is None or c_hi > hi):
+                    c_hi = hi
+                stack.append((child, c_lo, c_hi, node.height - 1))
+    unreachable = sorted(set(blockman.table) - visited)
+    if unreachable:
+        report.error(
+            f"{name}: {len(unreachable)} table extent(s) unreachable from "
+            f"the root (nodes are never dropped): {unreachable[:8]}"
+        )
+
+
+def _in_range(key: bytes, lo: Optional[bytes], hi: Optional[bytes]) -> bool:
+    if lo is not None and key < lo:
+        return False
+    if hi is not None and key >= hi:
+        return False
+    return True
+
+
+def _check_node_shape(
+    name: str,
+    node,
+    lo: Optional[bytes],
+    hi: Optional[bytes],
+    sb: Superblock,
+    report: FsckReport,
+) -> None:
+    nid = node.node_id
+    if node.msn_max >= sb.next_msn:
+        report.error(
+            f"{name}: node {nid} msn_max {node.msn_max} >= superblock "
+            f"next_msn {sb.next_msn}"
+        )
+    if isinstance(node, LeafNode):
+        prev: Optional[bytes] = None
+        for basement in node.basements:
+            for i in range(1, len(basement.keys)):
+                if basement.keys[i - 1] >= basement.keys[i]:
+                    report.error(
+                        f"{name}: node {nid} basement keys out of order"
+                    )
+                    break
+            if basement.keys:
+                if prev is not None and prev >= basement.keys[0]:
+                    report.error(
+                        f"{name}: node {nid} basements overlap or are "
+                        "out of order"
+                    )
+                for key in (basement.keys[0], basement.keys[-1]):
+                    if not _in_range(key, lo, hi):
+                        report.error(
+                            f"{name}: node {nid} key {key!r} outside its "
+                            f"routing range [{lo!r}, {hi!r})"
+                        )
+                prev = basement.keys[-1]
+    elif isinstance(node, InternalNode):
+        if len(node.pivots) != len(node.children) - 1:
+            report.error(
+                f"{name}: node {nid} has {len(node.pivots)} pivots for "
+                f"{len(node.children)} children"
+            )
+        for i in range(1, len(node.pivots)):
+            if node.pivots[i - 1] >= node.pivots[i]:
+                report.error(
+                    f"{name}: node {nid} pivots not strictly increasing"
+                )
+                break
+        for pivot in node.pivots:
+            if not _in_range(pivot, lo, hi):
+                report.error(
+                    f"{name}: node {nid} pivot {pivot!r} outside its "
+                    f"routing range [{lo!r}, {hi!r})"
+                )
+        if len(set(node.children)) != len(node.children):
+            report.error(f"{name}: node {nid} has duplicate children")
+
+
+def _check_wal(
+    store: ExtentStore, layout: _Layout, sb: Superblock, report: FsckReport
+) -> None:
+    if layout.log_size <= 0:
+        return
+    raw = store.read(layout.log_base, layout.log_size)
+    try:
+        entries, _end = WriteAheadLog.scan(
+            raw, sb.log_head, sb.checkpoint_lsn + 1
+        )
+    except (struct.error, ValueError) as exc:
+        report.error(f"log: scan failed ({exc})")
+        return
+    report.wal_entries = len(entries)
+    last_lsn = sb.checkpoint_lsn
+    for entry in entries:
+        if entry.lsn <= last_lsn:
+            report.error(
+                f"log: LSN {entry.lsn} not increasing (prev {last_lsn})"
+            )
+            break
+        last_lsn = entry.lsn
+    if sb.clean_shutdown and entries:
+        report.error(
+            f"log: clean-shutdown superblock but {len(entries)} entries "
+            "past the checkpoint"
+        )
+
+
+def _check_ftl(store: ExtentStore, ftl, report: FsckReport) -> None:
+    if ftl.valid_pages() != ftl.mapped_pages():
+        report.error(
+            f"ftl: valid-page conservation violated "
+            f"({ftl.valid_pages()} valid, {ftl.mapped_pages()} mapped)"
+        )
+    page = ftl.geom.page_size
+    missing = 0
+    for off, data in store.snapshot():
+        first = (off + page - 1) // page
+        last = (off + len(data)) // page  # exclusive
+        for lpn in range(first, last):
+            if lpn not in ftl.map:
+                missing += 1
+    if missing:
+        report.error(
+            f"ftl: {missing} fully stored page(s) missing from the "
+            "logical map (store/FTL divergence)"
+        )
+
+
+# ----------------------------------------------------------------------
+# Image container (for the CLI path)
+# ----------------------------------------------------------------------
+def save_image(
+    device: BlockDevice,
+    path: str,
+    log_size: int,
+    meta_size: int,
+    aligned: bool = False,
+) -> None:
+    """Write a device's persisted bytes plus layout metadata to a file.
+
+    FTL state is not serialized; an image loaded back from disk skips
+    the FTL leg of fsck.
+    """
+    extents = device.store.snapshot()
+    parts = [
+        IMAGE_MAGIC,
+        struct.pack(
+            "<HBBqqqI",
+            IMAGE_VERSION,
+            1 if aligned else 0,
+            0,
+            device.profile.capacity,
+            log_size,
+            meta_size,
+            len(extents),
+        ),
+    ]
+    for off, data in extents:
+        parts.append(struct.pack("<qq", off, len(data)))
+        parts.append(data)
+    blob = b"".join(parts)
+    blob += struct.pack("<I", zlib.crc32(blob) & 0xFFFFFFFF)
+    with open(path, "wb") as fh:
+        fh.write(blob)
+
+
+@dataclass
+class DeviceImage:
+    """A loaded image: the store plus the layout it was carved with."""
+
+    store: ExtentStore
+    capacity: int
+    log_size: int
+    meta_size: int
+    aligned: bool
+
+    def fsck(self) -> FsckReport:
+        return fsck_device(
+            self.store,
+            log_size=self.log_size,
+            meta_size=self.meta_size,
+            capacity=self.capacity,
+            aligned=self.aligned,
+        )
+
+
+def load_image(path: str) -> DeviceImage:
+    """Read an image written by :func:`save_image`."""
+    with open(path, "rb") as fh:
+        blob = fh.read()
+    if len(blob) < 8 or blob[:4] != IMAGE_MAGIC:
+        raise FsckError(f"{path}: not a device image (bad magic)")
+    body, crc_raw = blob[:-4], blob[-4:]
+    if struct.unpack("<I", crc_raw)[0] != (zlib.crc32(body) & 0xFFFFFFFF):
+        raise FsckError(f"{path}: image container checksum mismatch")
+    version, aligned, _pad, capacity, log_size, meta_size, n = struct.unpack_from(
+        "<HBBqqqI", blob, 4
+    )
+    if version != IMAGE_VERSION:
+        raise FsckError(f"{path}: unsupported image version {version}")
+    pos = 4 + struct.calcsize("<HBBqqqI")
+    store = ExtentStore()
+    for _ in range(n):
+        off, ln = struct.unpack_from("<qq", blob, pos)
+        pos += 16
+        store.write(off, blob[pos : pos + ln])
+        pos += ln
+    return DeviceImage(
+        store=store,
+        capacity=capacity,
+        log_size=log_size,
+        meta_size=meta_size,
+        aligned=bool(aligned),
+    )

@@ -26,6 +26,8 @@ class NodeCache:
         self.misses = 0
         self.evictions = 0
         self.dirty_evictions = 0
+        #: Optional sanitizer suite (pure observer; see repro.check).
+        self.san = None
 
     # ------------------------------------------------------------------
     def get(self, node_id: int) -> Optional[Node]:
@@ -38,13 +40,20 @@ class NodeCache:
         return entry[0]
 
     def put(self, node: Node, owner: object) -> None:
+        if self.san is not None:
+            existing = self._nodes.get(node.node_id)
+            self.san.on_cache_put(self, node, existing[0] if existing else None)
         self._nodes[node.node_id] = (node, owner)
         self._nodes.move_to_end(node.node_id)
 
     def pin(self, node_id: int) -> None:
+        if self.san is not None:
+            self.san.on_pin(node_id)
         self._pins[node_id] = self._pins.get(node_id, 0) + 1
 
     def unpin(self, node_id: int) -> None:
+        if self.san is not None:
+            self.san.on_unpin(node_id)
         count = self._pins.get(node_id, 0) - 1
         if count <= 0:
             self._pins.pop(node_id, None)
@@ -98,6 +107,8 @@ class NodeCache:
             if node.dirty:
                 writer(owner, node)
                 self.dirty_evictions += 1
+            if self.san is not None:
+                self.san.on_evict(self, node, self.pinned(node_id))
             used -= node.nbytes()
             del self._nodes[node_id]
             self.evictions += 1

@@ -60,6 +60,10 @@ class BeTreeConfig:
     compression: bool = False
     #: Lifting-style common-prefix elision during serialization.
     lifting: bool = True
+    #: Install the runtime sanitizers (``repro.check.sanitize``).  Pure
+    #: observers: they never charge simulated time or mutate state, so
+    #: runs with and without them externalize identical bytes.
+    sanitize: bool = False
 
     def scaled(self, factor: float) -> "BeTreeConfig":
         """Geometry scaled by ``factor`` (for reduced-size benchmarks).

@@ -87,6 +87,12 @@ class KVEnv:
         self.cache = NodeCache(config.cache_bytes)
         if obs is not None:
             obs.register_object("tree.nodecache", self.cache, layer="cache")
+        self.san = None
+        if config.sanitize:
+            from repro.check.sanitize import SanitizerSuite
+
+            self.san = SanitizerSuite(self)
+            self.san.install()
         self._next_node_id = 1
         self._next_msn = 1
         storage.create("superblock", 8 * MIB)
@@ -233,6 +239,8 @@ class KVEnv:
         self.wal.truncate(lsn, self.wal.head)
         self._elided_volatile = False
         self.last_checkpoint = self.clock.now
+        if self.san is not None:
+            self.san.on_checkpoint()
 
     def _write_superblock(self, lsn: int, clean: bool) -> None:
         self._sb_generation += 1
@@ -277,6 +285,8 @@ class KVEnv:
     # Housekeeping
     # ------------------------------------------------------------------
     def _post_op(self) -> None:
+        if self.san is not None:
+            self.san.on_post_op()
         flush_at = min(LOG_FLUSH_THRESHOLD, self.wal.region_size // 4)
         if self.wal._buffer_bytes > flush_at:
             self.wal.flush(durable=False)

@@ -14,6 +14,7 @@ from __future__ import annotations
 import bisect
 from typing import Iterable, List, Optional, Tuple
 
+from repro.check.errors import TreeInvariantError, require
 from repro.core.messages import (
     Delete,
     Insert,
@@ -290,7 +291,12 @@ class LeafNode(Node):
         del self.basements[mid:]
         right.msn_max = self.msn_max
         pivot = right.basements[0].first_key()
-        assert pivot is not None
+        require(
+            pivot is not None,
+            "leaf split produced an empty right half",
+            TreeInvariantError,
+            new_node_id,
+        )
         return right, pivot
 
     def items(self) -> Iterable[Tuple[bytes, Value]]:

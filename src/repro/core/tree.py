@@ -39,6 +39,7 @@ from repro.core.messages import (
     release_message,
     value_len,
 )
+from repro.check.errors import TreeInvariantError, require
 from repro.core.node import BasementNode, InternalNode, LeafNode, Node
 import zlib as _zlib
 
@@ -108,6 +109,7 @@ class BeTree:
         self.storage = env.storage
         self.cache = env.cache
         self.stats = TreeStats()
+        self.san = getattr(env, "san", None)
         obs = getattr(env, "obs", None)
         self._tracer = env._tracer if obs is not None else None
         self._lat_query = None
@@ -219,7 +221,12 @@ class BeTree:
                 # queues behind it).
                 self._issue_leaf_readahead(parent_of_leaf[0], parent_of_leaf[1] + 1)
         leaf = node
-        assert isinstance(leaf, LeafNode)
+        require(
+            isinstance(leaf, LeafNode),
+            "descent ended on a non-leaf node",
+            TreeInvariantError,
+            type(leaf).__name__,
+        )
         basement = self._basement_for_query(leaf, key, seq_hint)
         present, base, base_msn = basement.get_with_msn(key)
         self.clock.cpu(
@@ -273,7 +280,12 @@ class BeTree:
             self._apply_to_leaf(root, [msg], None)
             self._maybe_split_root_leaf(root)
             return
-        assert isinstance(root, InternalNode)
+        require(
+            isinstance(root, InternalNode),
+            "root has height > 0 but is not internal",
+            TreeInvariantError,
+            type(root).__name__,
+        )
         self._enqueue_internal(root, msg)
         if root.buffer_bytes > self.cfg.buffer_size:
             self._flush_node(root)
@@ -343,13 +355,20 @@ class BeTree:
         if isinstance(child, LeafNode):
             self._apply_to_leaf(child, msgs, node)
         else:
-            assert isinstance(child, InternalNode)
+            require(
+                isinstance(child, InternalNode),
+                "flush target is neither leaf nor internal",
+                TreeInvariantError,
+                type(child).__name__,
+            )
             for msg in msgs:
                 self._enqueue_internal(child, msg)
             if child.buffer_bytes > self.cfg.buffer_size:
                 self._flush_node(child)
             if len(child.children) > self.cfg.fanout:
                 self._split_internal_child(node, idx, child)
+        if self.san is not None:
+            self.san.on_flush(self, node, idx, child)
 
     def _charge_message_move(self, msgs: List[Message]) -> None:
         """CPU cost of moving messages one level down.
@@ -421,6 +440,8 @@ class BeTree:
             idx = parent.children.index(leaf.node_id)
             parent.add_child(pivot, right.node_id, idx)
             parent.dirty = True
+            if self.san is not None:
+                self.san.on_split(self, leaf, right, pivot, parent)
             leaf = right  # right half may still be oversized
 
     def _maybe_split_root_leaf(self, root: LeafNode) -> None:
@@ -436,6 +457,8 @@ class BeTree:
         self.cache.put(right, self)
         self.cache.put(new_root, self)
         self.root_id = new_root.node_id
+        if self.san is not None:
+            self.san.on_split(self, root, right, pivot, new_root)
 
     def _maybe_split_root_internal(self, root: InternalNode) -> None:
         if len(root.children) <= self.cfg.fanout:
@@ -451,6 +474,8 @@ class BeTree:
         self.cache.put(right, self)
         self.cache.put(new_root, self)
         self.root_id = new_root.node_id
+        if self.san is not None:
+            self.san.on_split(self, root, right, pivot, new_root)
 
     def _split_internal_child(
         self, parent: InternalNode, idx: int, child: InternalNode
@@ -462,6 +487,8 @@ class BeTree:
         self.cache.put(right, self)
         parent.add_child(pivot, right.node_id, idx)
         parent.dirty = True
+        if self.san is not None:
+            self.san.on_split(self, child, right, pivot, parent)
 
     # ==================================================================
     # Query helpers
@@ -692,7 +719,12 @@ class BeTree:
         if isinstance(node, LeafNode):
             self._scan_leaf(node, start, end, pending, results, limit)
             return
-        assert isinstance(node, InternalNode)
+        require(
+            isinstance(node, InternalNode),
+            "scan met a node that is neither leaf nor internal",
+            TreeInvariantError,
+            type(node).__name__,
+        )
         self._charge_pivot_search(node)
         # Extract buffered messages overlapping the scan range: point
         # messages via the ordered index, range messages one by one.
@@ -964,7 +996,12 @@ class BeTree:
             raise RuntimeError("missing partial-load context")
         base_off, prefix = meta
         stub = leaf.basements[idx]
-        assert stub.stub_extent is not None
+        require(
+            stub.stub_extent is not None,
+            "unloaded basement has no stub extent",
+            TreeInvariantError,
+            (leaf.node_id, idx),
+        )
         b_off, b_ln = stub.stub_extent
         blob = self.storage.read(self.file_name, base_off + b_off, b_ln)
         self.clock.cpu(self.costs.checksum(b_ln))
@@ -1024,6 +1061,8 @@ class BeTree:
         node.dirty = False
         self.stats.node_writes += 1
         self.stats.bytes_node_written += len(data)
+        if self.san is not None:
+            self.san.on_write_node(self, node)
 
     def write_dirty_nodes(self) -> int:
         """Persist every dirty cached node of this tree (checkpoint)."""

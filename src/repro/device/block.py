@@ -192,6 +192,8 @@ class BlockDevice:
         #: for internal garbage collection (hysteresis).
         self._cache_saturated = False
         self.charge_time = charge_time
+        #: Optional sanitizer suite (pure observer; see repro.check).
+        self.san = None
 
     #: Idle seconds after which a saturated write cache recovers.
     CACHE_RECOVERY_IDLE = 0.5
@@ -322,6 +324,8 @@ class BlockDevice:
                     bytes=nbytes, seq=sequential,
                 )
         data = self.store.read(offset, length)
+        if self.san is not None:
+            self.san.on_device_op(self, "read", dur)
         return Completion(done, data, write=False)
 
     def submit_write(self, offset: int, data: bytes) -> Completion:
@@ -355,6 +359,8 @@ class BlockDevice:
                         "dev.gc", "device", done - gc_seconds, gc_seconds,
                     )
         self.store.write(offset, data)
+        if self.san is not None:
+            self.san.on_device_op(self, "write", dur)
         return Completion(done, None, write=True)
 
     def wait(self, completion: Completion) -> Optional[bytes]:
@@ -367,7 +373,8 @@ class BlockDevice:
         """Synchronous read."""
         completion = self.submit_read(offset, length)
         data = self.wait(completion)
-        assert data is not None
+        if data is None:
+            raise IOError(f"read completion carried no data at {offset}")
         return data
 
     def write(self, offset: int, data: bytes) -> None:
@@ -379,6 +386,8 @@ class BlockDevice:
         """Barrier: wait for all outstanding I/O plus a cache flush."""
         if not self.charge_time:
             self.stats.record_flush(0.0)
+            if self.san is not None:
+                self.san.on_device_op(self, "flush", 0.0)
             return
         dur = self.profile.flush_lat
         done = self._schedule(dur)
@@ -387,6 +396,8 @@ class BlockDevice:
             tracer = self._tracer
             if tracer is not None and tracer.enabled:
                 tracer.event("dev.flush", "device", done - dur, dur)
+        if self.san is not None:
+            self.san.on_device_op(self, "flush", dur)
         self.clock.wait_until(done)
 
     def discard(self, offset: int, length: int) -> None:
@@ -406,6 +417,8 @@ class BlockDevice:
         if self.ftl is not None:
             self.ftl.trim(offset, length)
         self.store.discard(offset, length)
+        if self.san is not None:
+            self.san.on_device_op(self, "discard", dur)
 
     # ------------------------------------------------------------------
     # Crash simulation

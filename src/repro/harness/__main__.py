@@ -37,12 +37,21 @@ def main(argv=None) -> int:
     )
     parser.add_argument(
         "target",
-        choices=["table1", "table3", "fig2", "hdd", "all", "stats", "ftl"],
+        choices=["table1", "table3", "fig2", "hdd", "all", "stats", "ftl", "fsck"],
         help="which artifact to regenerate (hdd = the prior-work "
         "'compleat on an HDD' context for BetrFS v0.4; stats = run a "
         "workload and print the per-layer observability tables; ftl = "
         "age a tiny flash device and report WA / GC-pause / erase "
-        "telemetry)",
+        "telemetry; fsck = check a saved device image, see "
+        "repro.check.fsck)",
+    )
+    parser.add_argument(
+        "image",
+        nargs="?",
+        default=None,
+        help="device image file for the fsck target (written with "
+        "repro.check.fsck.save_image); omit to fsck a freshly-built "
+        "smoke image",
     )
     parser.add_argument(
         "--scale",
@@ -78,6 +87,11 @@ def main(argv=None) -> int:
     )
     parser.add_argument("--quiet", action="store_true")
     args = parser.parse_args(argv)
+
+    if args.target == "fsck":
+        return _run_fsck(args.image, verbose=not args.quiet)
+    if args.image is not None:
+        parser.error("an image argument is only valid for the fsck target")
 
     scale = DEFAULT_SCALE if args.scale == "default" else SMOKE_SCALE
     verbose = not args.quiet
@@ -144,6 +158,36 @@ def main(argv=None) -> int:
         print(f"results written to {args.out}/")
     print(f"total wall time: {time.time() - t0:.1f}s", file=sys.stderr)
     return 0
+
+
+def _run_fsck(image_path, verbose: bool = True) -> int:
+    """``python -m repro.harness fsck [image]``.
+
+    With an image path: check a file written by
+    :func:`repro.check.fsck.save_image`.  Without one: build a smoke
+    mount, run a short workload, crash it, and fsck the crash image —
+    a self-contained end-to-end exercise of the checker.
+    """
+    from repro.check.fsck import fsck_device, load_image
+
+    if image_path is not None:
+        report = load_image(image_path).fsck()
+    else:
+        from repro.betrfs.filesystem import make_betrfs
+        from repro.workloads.tokubench import tokubench
+
+        fs = make_betrfs("BetrFS v0.6")
+        tokubench(fs, SMOKE_SCALE)
+        fs.sync()
+        report = fsck_device(
+            fs.device.crash_image(),
+            log_size=fs.opts.log_size,
+            meta_size=fs.opts.meta_size,
+            aligned=fs.config.page_sharing,
+        )
+    if verbose or not report.ok:
+        print(report.render())
+    return 0 if report.ok else 1
 
 
 if __name__ == "__main__":

@@ -75,6 +75,8 @@ class KernelAllocator:
         self.stats = AllocStats()
         self._ids = itertools.count(1)
         self._cache_free = self.BASELINE_CACHE_SLOTS
+        #: Optional sanitizer suite (pure observer; see repro.check).
+        self.san = None
         if obs is not None:
             obs.register_object("kmem.alloc", self.stats, layer="kmem")
 
@@ -114,6 +116,8 @@ class KernelAllocator:
         cached = self._from_cache(size)
         if cached is not None:
             self._track(cached.capacity)
+            if self.san is not None:
+                self.san.on_alloc(cached)
             return cached
         if size <= KMALLOC_MAX:
             self.stats.kmallocs += 1
@@ -125,6 +129,8 @@ class KernelAllocator:
             buf = Buffer(next(self._ids), size, size, vmalloced=True)
         self._track(buf.capacity)
         self._class_count(buf.capacity)
+        if self.san is not None:
+            self.san.on_alloc(buf)
         return buf
 
     def free(self, buf: Buffer, size_hint: Optional[int] = None) -> None:
@@ -134,6 +140,8 @@ class KernelAllocator:
         cooperative allocator exploits) and pays the vmalloc mapping
         search when freeing large regions.
         """
+        if self.san is not None:
+            self.san.on_free(buf)
         self.stats.frees += 1
         self._track(-buf.capacity)
         if self._to_cache(buf):

@@ -80,6 +80,8 @@ class CooperativeAllocator(KernelAllocator):
             buf = Buffer(next(self._ids), size, size, vmalloced=False)
             self._track(buf.capacity)
             self._class_count(buf.capacity)
+            if self.san is not None:
+                self.san.on_alloc(buf)
             return buf
         capacity = self.suggested_capacity(size)
         cls = self._size_class(capacity)
@@ -94,9 +96,13 @@ class CooperativeAllocator(KernelAllocator):
             buf = Buffer(next(self._ids), size, capacity, vmalloced=True)
         self._track(buf.capacity)
         self._class_count(buf.capacity)
+        if self.san is not None:
+            self.san.on_alloc(buf)
         return buf
 
     def free(self, buf: Buffer, size_hint: Optional[int] = None) -> None:
+        if self.san is not None:
+            self.san.on_free(buf)
         self.stats.frees += 1
         self._track(-buf.capacity)
         cls = self._size_class(buf.capacity) if buf.vmalloced else None

@@ -67,7 +67,8 @@ class Southbound:
     def finish_read(self, completion: Completion) -> bytes:
         """Wait for a prefetch and return its data."""
         data = self.device.wait(completion)
-        assert data is not None
+        if data is None:
+            raise IOError("prefetch completion carried no data")
         return data
 
     def sync(self, name: str) -> None:

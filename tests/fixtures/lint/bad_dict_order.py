@@ -1,0 +1,12 @@
+"""Lint fixture: must trigger the ``dict-order`` rule.
+
+Standalone fixture files are linted with the strictest profile, so the
+serialization-path rule applies here.
+"""
+
+
+def serialize(table):
+    out = []
+    for key in table.keys():
+        out.append(key)
+    return out

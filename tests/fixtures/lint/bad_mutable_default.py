@@ -1,0 +1,5 @@
+"""Lint fixture: must trigger the ``mutable-default`` rule."""
+
+
+def gather(items=[]):
+    return items

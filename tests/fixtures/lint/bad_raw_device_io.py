@@ -1,0 +1,5 @@
+"""Lint fixture: must trigger the ``raw-device-io`` rule."""
+
+
+def poke(device):
+    device.write(0, b"x")

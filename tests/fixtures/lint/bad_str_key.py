@@ -1,0 +1,5 @@
+"""Lint fixture: must trigger the ``str-key`` rule."""
+
+
+def touch(tree):
+    tree.put("key", b"value")

@@ -1,0 +1,7 @@
+"""Lint fixture: must trigger the ``unseeded-random`` rule."""
+
+import random
+
+
+def jitter():
+    return random.random()

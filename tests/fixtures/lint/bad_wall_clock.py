@@ -1,0 +1,7 @@
+"""Lint fixture: must trigger the ``wall-clock`` rule."""
+
+import time
+
+
+def stamp():
+    return time.time()

@@ -1,0 +1,28 @@
+"""Lint fixture: must trigger NO rule (false-positive guard).
+
+Exercises the near-miss shapes of every rule: a seeded RNG, sorted dict
+iteration, bytes keys, immutable defaults, and I/O through a wrapper.
+"""
+
+import random
+
+
+def deterministic(seed):
+    rng = random.Random(seed)
+    return rng.random()
+
+
+def serialize(table):
+    return [key for key in sorted(table.keys())]
+
+
+def touch(tree):
+    tree.put(b"key", b"value")
+
+
+def gather(items=None):
+    return list(items or ())
+
+
+def write_through(storage):
+    storage.write("meta.db", 0, b"x")

@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.check.fsck import fsck_device
 from repro.core.config import BeTreeConfig
 from repro.core.env import DATA, META, KVEnv
 from repro.core.messages import PageFrame, value_bytes
@@ -47,8 +48,13 @@ def make_env(cfg=None, **kwargs):
     return env, device
 
 
-def reopen(device, cfg=None, **kwargs):
+def reopen(device, cfg=None, fsck=True, **kwargs):
     image = device.crash_image()
+    if fsck:
+        # Every recovery in the suite must also pass the offline
+        # checker: "recovers" means "recovers from a sane image".
+        report = fsck_device(image, log_size=8 * MIB, meta_size=64 * MIB)
+        report.raise_if_errors()
     costs = CostModel()
     alloc = KernelAllocator(image.clock, costs)
     storage = SimpleFileLayer(image, costs, log_size=8 * MIB, meta_size=64 * MIB)

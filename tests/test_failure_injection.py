@@ -49,6 +49,7 @@ class TestTornLog:
 
 class TestCorruptNodes:
     def test_checkpointed_node_corruption_is_detected(self):
+        from repro.check.fsck import fsck_device
         from repro.core.serialize import ChecksumError
 
         env, device = make_env()
@@ -59,7 +60,14 @@ class TestCorruptNodes:
         root_off, root_len = env.meta.blockman.lookup(env.meta.root_id)
         meta_base = 8 * MIB + 8 * MIB  # superblock + log regions
         device.store.write(meta_base + root_off + root_len // 2, b"\xff")
-        env2 = reopen(device)
+        # The offline checker flags the damage up front ...
+        report = fsck_device(
+            device.crash_image(), log_size=8 * MIB, meta_size=64 * MIB
+        )
+        assert not report.ok
+        assert any("unreadable" in e for e in report.errors)
+        # ... and the runtime CRC check catches it on first touch.
+        env2 = reopen(device, fsck=False)
         with pytest.raises(ChecksumError):
             env2.get(META, b"key0000")
 
@@ -80,12 +88,16 @@ class TestCrashStorm:
             else:
                 env.sync()
             image = device.crash_image()
+            from repro.check.fsck import fsck_device
             from repro.core.env import KVEnv
             from repro.kmem.allocator import KernelAllocator
             from repro.model.costs import CostModel
             from repro.storage.sfl import SimpleFileLayer
             from tests.test_env import small_cfg
 
+            fsck_device(
+                image, log_size=8 * MIB, meta_size=64 * MIB
+            ).raise_if_errors()
             costs = CostModel()
             env = KVEnv.open(
                 SimpleFileLayer(image, costs, log_size=8 * MIB, meta_size=64 * MIB),

@@ -97,6 +97,14 @@ def test_betrfs_variants_survive_crash(version):
     image = mount.device.crash_image()
     costs = CostModel()
     if mount.features.use_sfl:
+        from repro.check.fsck import fsck_device
+
+        fsck_device(
+            image,
+            log_size=mount.opts.log_size,
+            meta_size=mount.opts.meta_size,
+            aligned=mount.config.page_sharing,
+        ).raise_if_errors()
         storage = SimpleFileLayer(
             image, costs, log_size=mount.opts.log_size, meta_size=mount.opts.meta_size
         )

@@ -12,6 +12,7 @@ import dataclasses
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.check.fsck import fsck_device
 from repro.core.config import BeTreeConfig
 from repro.core.env import KVEnv, META
 from repro.device.block import BlockDevice
@@ -53,6 +54,7 @@ def make_env():
 
 def reopen(device):
     image = device.crash_image()
+    fsck_device(image, log_size=8 * MIB, meta_size=64 * MIB).raise_if_errors()
     costs = CostModel()
     return KVEnv.open(
         SimpleFileLayer(image, costs, log_size=8 * MIB, meta_size=64 * MIB),

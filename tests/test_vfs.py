@@ -223,6 +223,14 @@ class TestDirtyInodes:
         from repro.storage.sfl import SimpleFileLayer
 
         image = fs.device.crash_image()
+        from repro.check.fsck import fsck_device
+
+        fsck_device(
+            image,
+            log_size=fs.opts.log_size,
+            meta_size=fs.opts.meta_size,
+            aligned=fs.config.page_sharing,
+        ).raise_if_errors()
         costs = CostModel()
         env2 = KVEnv.open(
             SimpleFileLayer(image, costs, log_size=fs.opts.log_size,
