@@ -46,7 +46,7 @@ from repro.core.node import InternalNode, LeafNode
 from repro.core.serialize import ChecksumError, decode_node, verify_crc
 from repro.core.wal import WriteAheadLog
 from repro.device.block import BlockDevice, ExtentStore
-from repro.storage.sfl import SUPERBLOCK_SIZE
+from repro.storage.sfl import ImageLayout
 
 #: Compressed on-disk node prefix (mirrors ``repro.core.tree``).
 _COMPRESSED_MAGIC = b"BFCZ"
@@ -106,36 +106,8 @@ class FsckReport:
 
 
 # ----------------------------------------------------------------------
-# Layout
-# ----------------------------------------------------------------------
-@dataclass
-class _Layout:
-    """SFL static partition offsets (mirrors ``repro.storage.sfl``)."""
-
-    log_size: int
-    meta_size: int
-    capacity: int
-
-    @property
-    def log_base(self) -> int:
-        return SUPERBLOCK_SIZE
-
-    @property
-    def meta_base(self) -> int:
-        return SUPERBLOCK_SIZE + self.log_size
-
-    @property
-    def data_base(self) -> int:
-        return self.meta_base + self.meta_size
-
-    @property
-    def data_size(self) -> int:
-        return self.capacity - self.data_base
-
-    def tree_region(self, index: int) -> Tuple[int, int]:
-        if index == 0:
-            return self.meta_base, self.meta_size
-        return self.data_base, self.data_size
+# Layout: the shared SFL partition map (one source of truth).
+_Layout = ImageLayout
 
 
 # ----------------------------------------------------------------------

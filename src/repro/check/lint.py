@@ -119,9 +119,11 @@ _STORE_IO_METHODS = {"read", "write", "discard"}
 
 #: Modules allowed to touch the device/FTL/store directly: the
 #: cost-charging layers themselves, the offline checker (no simulated
-#: time exists offline), and device preconditioning (charges no time by
-#: documented design).
-_DEVICE_LAYER_PREFIXES = ("device/", "storage/", "baselines/", "check/")
+#: time exists offline), device preconditioning (charges no time by
+#: documented design), and the crash explorer (it materializes and
+#: probes crash-twin devices — post-crash images on their own clocks,
+#: where no live simulated timeline exists to be distorted).
+_DEVICE_LAYER_PREFIXES = ("device/", "storage/", "baselines/", "check/", "crashmc/")
 _DEVICE_LAYER_FILES = {"workloads/aging.py", "harness/ftl.py"}
 
 #: (relpath, rule) pairs tolerated in the repo.  The harness CLI's

@@ -1,0 +1,481 @@
+"""The crash explorer: drive workloads to crash points, enumerate
+plans, reboot, and judge.
+
+For each workload the explorer runs the op script twice on identical
+volatile-cache stacks:
+
+1. a **counting pass** that only tallies how many candidate plans each
+   crash point offers (crash points are: every barrier epoch sealed
+   *during* an op, plus the open epoch whenever an op grew it), then
+   splits the per-workload case budget across the points round-robin;
+2. an **exploration pass** that re-runs the script and, at each crash
+   point, materializes its quota of crash images via
+   :meth:`BlockDevice.crash_image`, runs :func:`repro.check.fsck` on
+   each, reboots a full :class:`KVEnv` from the image, and asks the
+   :class:`~repro.crashmc.oracle.Oracle` whether the recovered state
+   is an acceptable pending-prefix.
+
+Budget left over after the plan space is exhausted (plus a reserved
+~10% slice) is spent on post-crash **media-fault** plans — seeded
+bit-flips and latent sector errors inside the log/meta/data carve —
+where *detection* (fsck error, checksum failure, read error) is a
+pass and only silent wrong data is a violation.
+
+Any violating case is immediately re-run through the shrinker
+(:mod:`repro.crashmc.shrink`) so the reported failure carries a
+1-minimal plan; ``repro.harness torture`` writes it to a replayable
+repro file.
+
+Everything is derived from one integer seed; two runs with the same
+seed produce byte-identical summaries (no wall-clock, no ambient
+randomness — the purity lint holds this package to the device-layer
+rules).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from repro.check.fsck import fsck_device
+from repro.core.config import BeTreeConfig
+from repro.core.env import KVEnv
+from repro.crashmc.oracle import Op, Oracle
+from repro.crashmc.plan import CrashPlan
+from repro.crashmc.schedule import enumerate_plans, media_plans
+from repro.crashmc.workload import WORKLOADS, derive_rng
+from repro.device.block import BlockDevice
+from repro.device.clock import SimClock
+from repro.kmem.allocator import KernelAllocator
+from repro.model.costs import CostModel
+from repro.model.profiles import COMMODITY_SSD
+from repro.obs import scope_for_mount
+from repro.storage.sfl import ImageLayout, SimpleFileLayer
+
+MIB = 1 << 20
+
+#: Verdict classes a case can land in.
+CLEAN = "clean"          # recovered, oracle satisfied
+DETECTED = "detected"    # media damage caught (fsck/checksum/read error)
+VIOLATION = "violation"  # crash-consistency contract broken
+
+
+def explorer_config() -> BeTreeConfig:
+    """Small-node config so the torture workloads actually exercise
+    node splits, checkpoint I/O, and log replay at tiny scale."""
+    cfg = BeTreeConfig()
+    cfg.node_size = 8192
+    cfg.basement_size = 2048
+    cfg.buffer_size = 4096
+    cfg.fanout = 4
+    cfg.cache_bytes = 1 << 20
+    return cfg
+
+
+@dataclass
+class CaseResult:
+    status: str  # CLEAN / DETECTED / VIOLATION
+    stage: str = ""  # fsck / oracle / exception ("" for clean)
+    detail: str = ""
+
+
+@dataclass
+class Failure:
+    workload: str
+    op_index: int
+    op: str
+    plan: CrashPlan
+    shrunk: CrashPlan
+    stage: str
+    detail: str
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "workload": self.workload,
+            "op_index": self.op_index,
+            "op": self.op,
+            "plan": self.plan.to_dict(),
+            "shrunk": self.shrunk.to_dict(),
+            "stage": self.stage,
+            "detail": self.detail,
+        }
+
+
+class _Stack:
+    """One live workload stack on a volatile-cache device."""
+
+    LOG_SIZE = 8 * MIB
+    META_SIZE = 64 * MIB
+    DATA_SIZE = 256 * MIB
+
+    def __init__(self) -> None:
+        self.clock = SimClock()
+        self.device = BlockDevice(self.clock, COMMODITY_SSD, volatile_cache=True)
+        costs = CostModel()
+        storage = SimpleFileLayer(
+            self.device, costs, log_size=self.LOG_SIZE, meta_size=self.META_SIZE
+        )
+        self.layout: ImageLayout = storage.layout
+        self.env = KVEnv(
+            storage,
+            self.clock,
+            costs,
+            KernelAllocator(self.clock, costs),
+            explorer_config(),
+            log_size=self.LOG_SIZE,
+            meta_size=self.META_SIZE,
+            data_size=self.DATA_SIZE,
+        )
+
+    def apply(self, op: Op) -> None:
+        env = self.env
+        if op.kind == "insert":
+            env.insert(op.tree, op.key, op.value)
+        elif op.kind == "delete":
+            env.delete(op.tree, op.key)
+        elif op.kind == "range_delete":
+            env.range_delete(op.tree, op.key, op.end)
+        elif op.kind == "patch":
+            env.patch(op.tree, op.key, op.offset, op.value)
+        elif op.kind == "sync":
+            env.sync()
+        elif op.kind == "checkpoint":
+            env.checkpoint()
+        elif op.kind == "wflush":
+            # Push the WAL buffer to the device with NO barrier: these
+            # writes sit in the open epoch, at the mercy of the plan.
+            env.wal.flush(durable=False)
+        else:  # pragma: no cover - workload bug
+            raise ValueError(f"unknown op kind {op.kind!r}")
+
+
+def run_case(stack: _Stack, oracle: Oracle, plan: CrashPlan) -> CaseResult:
+    """Materialize one crash image, fsck it, reboot, and judge."""
+    media = plan.is_media_fault
+
+    def caught(stage: str, detail: str) -> CaseResult:
+        if media:
+            return CaseResult(DETECTED, stage, detail)
+        return CaseResult(VIOLATION, stage, detail)
+
+    try:
+        image = stack.device.crash_image(plan)
+    except ValueError:
+        raise  # plan/device misuse is a caller bug, not a verdict
+    try:
+        report = fsck_device(
+            image, log_size=stack.LOG_SIZE, meta_size=stack.META_SIZE
+        )
+    except Exception as exc:  # fsck itself choked on the image
+        return caught("exception", f"fsck raised {exc!r}")
+    if not report.ok:
+        return caught("fsck", "; ".join(report.errors[:3]))
+    try:
+        costs = CostModel()
+        env = KVEnv.open(
+            SimpleFileLayer(
+                image, costs, log_size=stack.LOG_SIZE, meta_size=stack.META_SIZE
+            ),
+            image.clock,
+            costs,
+            KernelAllocator(image.clock, costs),
+            explorer_config(),
+            log_size=stack.LOG_SIZE,
+            meta_size=stack.META_SIZE,
+            data_size=stack.DATA_SIZE,
+        )
+        verdict = oracle.check(env.get)
+    except Exception as exc:
+        return caught("exception", f"recovery raised {exc!r}")
+    if verdict.ok:
+        return CaseResult(CLEAN, "", verdict.detail)
+    # Silent wrong data is a violation even for media plans: the whole
+    # point of checksums is that damage must never read back as truth.
+    return CaseResult(VIOLATION, "oracle", verdict.detail)
+
+
+@dataclass
+class WorkloadReport:
+    name: str
+    ops: int = 0
+    points: int = 0
+    sealed_epochs: int = 0
+    plans_enumerated: int = 0
+    cases: int = 0
+    clean: int = 0
+    detected: int = 0
+    violations: int = 0
+    by_stage: Dict[str, int] = field(default_factory=dict)
+    failures: List[Failure] = field(default_factory=list)
+
+    def record(self, result: CaseResult) -> None:
+        self.cases += 1
+        if result.status == CLEAN:
+            self.clean += 1
+        elif result.status == DETECTED:
+            self.detected += 1
+        else:
+            self.violations += 1
+            self.by_stage[result.stage] = self.by_stage.get(result.stage, 0) + 1
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "ops": self.ops,
+            "points": self.points,
+            "sealed_epochs": self.sealed_epochs,
+            "plans_enumerated": self.plans_enumerated,
+            "cases": self.cases,
+            "clean": self.clean,
+            "detected": self.detected,
+            "violations": self.violations,
+            "violations_by_stage": dict(sorted(self.by_stage.items())),
+            "failures": [f.to_dict() for f in self.failures],
+        }
+
+
+@dataclass
+class TortureSummary:
+    seed: int
+    budget: int
+    workloads: List[WorkloadReport]
+
+    @property
+    def cases(self) -> int:
+        return sum(w.cases for w in self.workloads)
+
+    @property
+    def violations(self) -> int:
+        return sum(w.violations for w in self.workloads)
+
+    @property
+    def failures(self) -> List[Failure]:
+        return [f for w in self.workloads for f in w.failures]
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "seed": self.seed,
+            "budget": self.budget,
+            "cases": self.cases,
+            "clean": sum(w.clean for w in self.workloads),
+            "detected": sum(w.detected for w in self.workloads),
+            "violations": self.violations,
+            "workloads": [w.to_dict() for w in self.workloads],
+        }
+
+
+class CrashExplorer:
+    """Systematic bounded crash-state exploration (the torture target)."""
+
+    #: Fraction of each workload's budget reserved for media-fault plans.
+    MEDIA_SHARE = 10  # i.e. budget // MEDIA_SHARE
+
+    def __init__(
+        self,
+        seed: int,
+        budget: int,
+        workloads: Sequence[str] = ("tokubench", "mailserver"),
+        exhaustive_k: int = 6,
+        obs_clock: Optional[SimClock] = None,
+    ) -> None:
+        self.seed = seed
+        self.budget = budget
+        self.workload_names = list(workloads)
+        self.exhaustive_k = exhaustive_k
+        for name in self.workload_names:
+            if name not in WORKLOADS:
+                raise ValueError(
+                    f"unknown workload {name!r} (have {sorted(WORKLOADS)})"
+                )
+        self.obs = scope_for_mount("crashmc", obs_clock or SimClock())
+        reg = self.obs.registry
+        self._c_cases = reg.counter("crashmc.cases", layer="crashmc")
+        self._c_clean = reg.counter("crashmc.clean", layer="crashmc")
+        self._c_detected = reg.counter("crashmc.detected", layer="crashmc")
+        self._c_violations = reg.counter("crashmc.violations", layer="crashmc")
+        self._c_plans = reg.counter("crashmc.plans_enumerated", layer="crashmc")
+        self._c_points = reg.counter("crashmc.crash_points", layer="crashmc")
+        self._h_epoch = reg.histogram(
+            "crashmc.records_per_epoch", layer="crashmc", bounds=None, unit="cmds"
+        )
+        self._h_point = reg.histogram(
+            "crashmc.plans_per_point", layer="crashmc", bounds=None, unit="plans"
+        )
+
+    # ------------------------------------------------------------------
+    def run(self) -> TortureSummary:
+        reports = []
+        share = self.budget // len(self.workload_names)
+        extra = self.budget - share * len(self.workload_names)
+        for i, name in enumerate(self.workload_names):
+            quota = share + (extra if i == 0 else 0)
+            reports.append(self._run_workload(name, quota))
+        return TortureSummary(self.seed, self.budget, reports)
+
+    # ------------------------------------------------------------------
+    def _plans_for_point(
+        self, stack: _Stack, point_index: int, name: str,
+        epoch: Optional[int],
+    ) -> List[CrashPlan]:
+        """The (deterministic) plan list for one crash point.  The RNG
+        is derived per point, so the counting and exploration passes
+        draw identical samples."""
+        records = stack.device.epoch_records(epoch)
+        rng = derive_rng(self.seed, f"{name}:plans:{point_index}")
+        return enumerate_plans(
+            records,
+            epoch=epoch,
+            sector=stack.device.profile.sector,
+            rng=rng,
+            exhaustive_k=self.exhaustive_k,
+        )
+
+    def _crash_points(
+        self, stack: _Stack, name: str, ops: List[Op],
+        visit: Optional[Callable[[int, Op, Optional[int], List[CrashPlan]], None]],
+        oracle: Optional[Oracle] = None,
+    ) -> List[int]:
+        """Run ``ops`` on ``stack``; at every crash point enumerate its
+        plans and (optionally) hand them to ``visit``.  Returns the
+        per-point candidate counts, in point order."""
+        counts: List[int] = []
+        open_len = 0
+        for i, op in enumerate(ops):
+            if oracle is not None:
+                oracle.begin(op)
+            sealed_before = stack.device.sealed_epochs()
+            stack.apply(op)
+            sealed_after = stack.device.sealed_epochs()
+            for epoch in range(sealed_before, sealed_after):
+                plans = self._plans_for_point(stack, len(counts), name, epoch)
+                counts.append(len(plans))
+                if visit is not None:
+                    visit(i, op, epoch, plans)
+            now_open = len(stack.device.unflushed())
+            if now_open != (0 if sealed_after > sealed_before else open_len):
+                if now_open:
+                    plans = self._plans_for_point(stack, len(counts), name, None)
+                    counts.append(len(plans))
+                    if visit is not None:
+                        visit(i, op, None, plans)
+            open_len = now_open
+            if oracle is not None:
+                oracle.commit(op)
+        return counts
+
+    @staticmethod
+    def _quotas(counts: List[int], budget: int) -> List[int]:
+        """Round-robin the case budget across crash points, capped at
+        each point's candidate count.  Deterministic."""
+        quotas = [0] * len(counts)
+        remaining = min(budget, sum(counts))
+        while remaining > 0:
+            progress = False
+            for i, cand in enumerate(counts):
+                if remaining == 0:
+                    break
+                if quotas[i] < cand:
+                    quotas[i] += 1
+                    remaining -= 1
+                    progress = True
+            if not progress:  # pragma: no cover - min() above prevents
+                break
+        return quotas
+
+    def _run_workload(self, name: str, budget: int) -> WorkloadReport:
+        ops = WORKLOADS[name](self.seed)
+        report = WorkloadReport(name=name, ops=len(ops))
+
+        media_quota = budget // self.MEDIA_SHARE
+        plan_budget = budget - media_quota
+
+        # Pass 1: count candidate plans per crash point.
+        counts = self._crash_points(_Stack(), name, ops, visit=None)
+        report.points = len(counts)
+        report.plans_enumerated = sum(counts)
+        self._c_points.inc(len(counts))
+        self._c_plans.inc(sum(counts))
+        for c in counts:
+            self._h_point.observe(c)
+        quotas = self._quotas(counts, plan_budget)
+        media_quota = budget - sum(quotas)  # plan-space shortfall -> media
+
+        # Pass 2: re-run and explore each point's quota.
+        stack = _Stack()
+        oracle = Oracle()
+        point_iter = iter(quotas)
+
+        def visit(i: int, op: Op, epoch: Optional[int], plans: List[CrashPlan]):
+            quota = next(point_iter)
+            for plan in plans[:quota]:
+                self._run_one(stack, oracle, name, i, op, plan, report)
+
+        self._crash_points(stack, name, ops, visit=visit, oracle=oracle)
+        report.sealed_epochs = stack.device.sealed_epochs()
+        for epoch in range(report.sealed_epochs):
+            self._h_epoch.observe(len(stack.device.epoch_records(epoch)))
+
+        # Media sweep at the final state: seeded faults in the carve
+        # (never the superblock region; see DESIGN.md, "Known gap").
+        if media_quota > 0:
+            layout = stack.layout
+            regions = [
+                (layout.log_base, stack.LOG_SIZE),
+                (layout.meta_base, stack.META_SIZE),
+                (layout.data_base, min(stack.DATA_SIZE, 4 * MIB)),
+            ]
+            rng = derive_rng(self.seed, f"{name}:media")
+            plans = media_plans(
+                regions,
+                sector=stack.device.profile.sector,
+                rng=rng,
+                count=media_quota,
+            )
+            last_op = len(ops) - 1
+            for plan in plans:
+                self._run_one(
+                    stack, oracle, name, last_op, ops[-1], plan, report
+                )
+        return report
+
+    def _run_one(
+        self,
+        stack: _Stack,
+        oracle: Oracle,
+        name: str,
+        op_index: int,
+        op: Op,
+        plan: CrashPlan,
+        report: WorkloadReport,
+    ) -> None:
+        result = run_case(stack, oracle, plan)
+        report.record(result)
+        self._c_cases.inc()
+        if result.status == CLEAN:
+            self._c_clean.inc()
+        elif result.status == DETECTED:
+            self._c_detected.inc()
+        else:
+            self._c_violations.inc()
+            shrunk = self._shrink(stack, oracle, plan)
+            report.failures.append(
+                Failure(
+                    workload=name,
+                    op_index=op_index,
+                    op=op.describe(),
+                    plan=plan,
+                    shrunk=shrunk,
+                    stage=result.stage,
+                    detail=result.detail,
+                )
+            )
+
+    def _shrink(
+        self, stack: _Stack, oracle: Oracle, plan: CrashPlan
+    ) -> CrashPlan:
+        from repro.crashmc.shrink import shrink_plan
+
+        def still_fails(candidate: CrashPlan) -> bool:
+            return run_case(stack, oracle, candidate).status == VIOLATION
+
+        return shrink_plan(plan, still_fails)

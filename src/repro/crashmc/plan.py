@@ -1,0 +1,123 @@
+"""Crash plans: one reachable post-crash device state, by construction.
+
+A :class:`CrashPlan` names a crash state relative to a volatile-cache
+:class:`~repro.device.block.BlockDevice`'s barrier-epoch log:
+
+* every barrier epoch before ``epoch`` is fully durable (``flush``
+  completed — that is the barrier contract);
+* of epoch ``epoch`` itself (``None`` = the still-open epoch), exactly
+  the commands whose ``seq`` appears in ``selected`` persisted, in
+  acceptance order — any other subset was lost in the cache;
+* the last selected *write* may additionally be **torn**: only its
+  first ``torn_tail_sectors`` sectors made it to media (a power cut
+  mid-programming);
+* independent media faults: each ``(offset, mask)`` in ``bitflips``
+  XORs one stored byte, and every sector in ``bad_sectors`` becomes a
+  latent read error raising :class:`~repro.device.block.MediaError`.
+
+Plans are plain data: hashable, canonically ordered, and round-trip
+through JSON dicts so a failing schedule can be written to a repro
+file and replayed byte-for-byte (see :mod:`repro.crashmc.shrink`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any, Dict, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class CrashPlan:
+    """One crash state of a volatile write cache (see module doc)."""
+
+    #: Command seqs of the at-risk epoch that persisted, ascending.
+    selected: Tuple[int, ...] = ()
+    #: Sealed-epoch index this plan crashes at; ``None`` = open epoch.
+    epoch: Optional[int] = None
+    #: Leading sectors of the last selected write that persisted
+    #: (``None`` = the write is whole).
+    torn_tail_sectors: Optional[int] = None
+    #: ``(offset, xor_mask)`` single-byte corruptions.
+    bitflips: Tuple[Tuple[int, int], ...] = ()
+    #: Sector numbers that fail reads after the crash.
+    bad_sectors: Tuple[int, ...] = ()
+    #: Why the enumerator emitted this plan (``prefix`` / ``subset`` /
+    #: ``sampled`` / ``torn`` / ``media``); informational only.
+    kind: str = field(default="subset", compare=False)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "selected", tuple(sorted(self.selected)))
+        object.__setattr__(self, "bitflips", tuple(sorted(self.bitflips)))
+        object.__setattr__(self, "bad_sectors", tuple(sorted(self.bad_sectors)))
+
+    # ------------------------------------------------------------------
+    @property
+    def is_media_fault(self) -> bool:
+        """Media-corruption plans have a weaker pass criterion: the
+        damage must be *detected* (fsck error, checksum failure, read
+        error) or harmless — only silent wrong data is a violation."""
+        return bool(self.bitflips or self.bad_sectors)
+
+    def key(self) -> Tuple:
+        """Canonical identity used to dedupe enumerated plans."""
+        return (
+            self.epoch,
+            self.selected,
+            self.torn_tail_sectors,
+            self.bitflips,
+            self.bad_sectors,
+        )
+
+    def describe(self) -> str:
+        parts = [
+            f"epoch={'open' if self.epoch is None else self.epoch}",
+            f"selected={list(self.selected)}",
+        ]
+        if self.torn_tail_sectors is not None:
+            parts.append(f"torn_tail_sectors={self.torn_tail_sectors}")
+        if self.bitflips:
+            parts.append(f"bitflips={list(self.bitflips)}")
+        if self.bad_sectors:
+            parts.append(f"bad_sectors={list(self.bad_sectors)}")
+        return f"CrashPlan[{self.kind}]({', '.join(parts)})"
+
+    # ------------------------------------------------------------------
+    # Repro-file round trip
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "selected": list(self.selected),
+            "epoch": self.epoch,
+            "torn_tail_sectors": self.torn_tail_sectors,
+            "bitflips": [list(bf) for bf in self.bitflips],
+            "bad_sectors": list(self.bad_sectors),
+            "kind": self.kind,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "CrashPlan":
+        return cls(
+            selected=tuple(data.get("selected", ())),
+            epoch=data.get("epoch"),
+            torn_tail_sectors=data.get("torn_tail_sectors"),
+            bitflips=tuple((int(o), int(m)) for o, m in data.get("bitflips", ())),
+            bad_sectors=tuple(data.get("bad_sectors", ())),
+            kind=data.get("kind", "subset"),
+        )
+
+    # ------------------------------------------------------------------
+    # Shrinker moves (each returns a strictly simpler plan)
+    # ------------------------------------------------------------------
+    def without_seq(self, seq: int) -> "CrashPlan":
+        return replace(self, selected=tuple(s for s in self.selected if s != seq))
+
+    def without_tear(self) -> "CrashPlan":
+        return replace(self, torn_tail_sectors=None)
+
+    def without_bitflip(self, index: int) -> "CrashPlan":
+        kept = self.bitflips[:index] + self.bitflips[index + 1 :]
+        return replace(self, bitflips=kept)
+
+    def without_bad_sector(self, index: int) -> "CrashPlan":
+        kept = self.bad_sectors[:index] + self.bad_sectors[index + 1 :]
+        return replace(self, bad_sectors=kept)

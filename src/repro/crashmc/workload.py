@@ -1,0 +1,123 @@
+"""Scripted KV workloads the crash explorer drives to crash points.
+
+Miniature, deterministic renditions of the paper's benchmark shapes,
+expressed as logical :class:`~repro.crashmc.oracle.Op` lists against
+the raw KV environment (META + DATA trees):
+
+* ``tokubench`` — bulk small-file creation: directory-grouped inserts
+  into META, periodic syncs, and an unsynced tail;
+* ``mailserver`` — a maildir-style mix: deliveries (insert), flag
+  updates (patch), moves (insert+delete), folder purges
+  (range_delete), page-sized bodies in DATA, and frequent
+  fsync-like syncs.
+
+Plain KV mutations buffer inside the WAL (no device writes until a
+flush), so every few ops the scripts emit ``wflush`` — push the WAL
+buffer to the device *without* a barrier — to populate the open
+barrier epoch with at-risk writes.  That is exactly the window a
+volatile write cache exposes, and it is where crash plans bite.
+
+Generators take an integer seed and are pure: same seed, same op list
+(the purity lint forbids ambient randomness, so the RNG is explicit
+and the seed derivation is integer arithmetic on crc32, never a
+salted ``hash(str)``).
+"""
+
+from __future__ import annotations
+
+import random
+import zlib
+from typing import Callable, Dict, List
+
+from repro.core.env import DATA, META
+from repro.core.messages import PageFrame
+from repro.crashmc.oracle import Op
+
+
+def derive_rng(seed: int, label: str) -> random.Random:
+    """A stream-named RNG from one root seed, int-only derivation."""
+    return random.Random((seed & 0xFFFFFFFF) ^ zlib.crc32(label.encode("ascii")))
+
+
+def tokubench_kv(seed: int) -> List[Op]:
+    rng = derive_rng(seed, "tokubench")
+    ops: List[Op] = []
+    dirs = [b"d%02d" % i for i in range(6)]
+    created = 0
+    for batch in range(10):
+        for _ in range(12):
+            d = dirs[rng.randrange(len(dirs))]
+            name = b"%s/f%04d" % (d, created)
+            created += 1
+            ops.append(Op("insert", META, name, b"inode:%05d" % rng.randrange(99999)))
+            if created % 4 == 0:
+                ops.append(Op("wflush"))
+        if batch % 3 == 2:
+            ops.append(Op("sync"))
+    # Unsynced tail: the at-risk creates a crash is allowed to drop.
+    for i in range(8):
+        ops.append(Op("insert", META, b"tail/f%02d" % i, b"late"))
+        if i % 2:
+            ops.append(Op("wflush"))
+    return ops
+
+
+def mailserver_kv(seed: int) -> List[Op]:
+    rng = derive_rng(seed, "mailserver")
+    ops: List[Op] = []
+    boxes = [b"inbox", b"work", b"spam"]
+    live: List[bytes] = []
+    uid = 0
+
+    def deliver() -> None:
+        nonlocal uid
+        box = boxes[rng.randrange(len(boxes))]
+        key = b"%s/%04d" % (box, uid)
+        uid += 1
+        live.append(key)
+        ops.append(Op("insert", META, key, b"S=%d F=" % rng.randrange(9000)))
+        if rng.random() < 0.4:
+            ops.append(Op("insert", DATA, key, PageFrame(bytes([uid % 251]) * 4096)))
+
+    for _ in range(20):  # mailbox setup
+        deliver()
+    ops.append(Op("checkpoint"))
+
+    for step in range(90):
+        roll = rng.random()
+        if roll < 0.45 or not live:
+            deliver()
+        elif roll < 0.65:  # flag update: patch the header in place
+            key = live[rng.randrange(len(live))]
+            ops.append(Op("patch", META, key, b"RS", offset=0))
+        elif roll < 0.80:  # move: new name, delete old
+            old = live.pop(rng.randrange(len(live)))
+            new = b"mv/" + old
+            live.append(new)
+            ops.append(Op("insert", META, new, b"moved"))
+            ops.append(Op("delete", META, old))
+        elif roll < 0.90:  # read path is exercised at check time
+            key = live[rng.randrange(len(live))]
+            ops.append(Op("delete", META, key))
+            if key in live:
+                live.remove(key)
+        else:  # purge the spam folder
+            ops.append(Op("range_delete", META, b"spam/", end=b"spam0"))
+            live[:] = [k for k in live if not k.startswith(b"spam/")]
+        if step % 5 == 4:
+            ops.append(Op("wflush"))
+        if step % 15 == 14:
+            ops.append(Op("sync"))
+    # Unsynced tail.
+    deliver()
+    deliver()
+    ops.append(Op("wflush"))
+    return ops
+
+
+#: Registry the explorer and the harness ``torture`` target iterate,
+#: in deterministic order.
+WORKLOADS: Dict[str, Callable[[int], List[Op]]] = {
+    "tokubench": tokubench_kv,
+    "mailserver": mailserver_kv,
+}

@@ -3,14 +3,22 @@
 from repro.device.clock import SimClock
 from repro.device.stats import IOStats
 from repro.device.ftl import FlashTranslationLayer, FTLStats
-from repro.device.block import BlockDevice, Completion, ExtentStore
+from repro.device.block import (
+    BlockDevice,
+    CacheRecord,
+    Completion,
+    ExtentStore,
+    MediaError,
+)
 
 __all__ = [
     "SimClock",
     "IOStats",
     "BlockDevice",
+    "CacheRecord",
     "Completion",
     "ExtentStore",
     "FlashTranslationLayer",
     "FTLStats",
+    "MediaError",
 ]

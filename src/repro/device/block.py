@@ -14,12 +14,38 @@ asynchronous callers receive a :class:`Completion` and only pay the
 remaining time when they :meth:`BlockDevice.wait`.  This is what
 lets read-ahead and write-back overlap with CPU work, the effect behind
 several of the paper's optimizations.
+
+Crash model
+-----------
+
+Two write-cache modes govern what a crash may lose:
+
+* **durable cache** (the default) — the paper's SSD has a
+  power-loss-protected cache, so every accepted command is in the
+  crash image.  :meth:`BlockDevice.crash_image` with no plan returns
+  exactly that, bit-identical to the pre-volatile-cache device.
+* **volatile cache** (``volatile_cache=True`` or
+  :meth:`enable_volatile_cache`) — every accepted write/TRIM is also
+  recorded into the current **barrier epoch**; ``flush()`` seals the
+  epoch.  :meth:`crash_image` then accepts a *crash plan* (see
+  :mod:`repro.crashmc.plan`) selecting a barrier epoch and any subset
+  of that epoch's commands, with sector-granular tearing of the last
+  selected write and optional media faults (bit-flips, latent sector
+  errors).  Earlier epochs are always fully durable — that is the
+  barrier contract ``flush`` promises.  Volatile mode is a testing
+  instrument: it retains the full post-enable write history in memory
+  and charges no extra simulated time (timing and stats are
+  bit-identical to durable mode for the same workload).
 """
 
 from __future__ import annotations
 
 import bisect
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
+
+
+class MediaError(IOError):
+    """A read touched a latent bad sector injected by a crash plan."""
 
 from repro.device.clock import SimClock
 from repro.device.ftl import FlashTranslationLayer
@@ -39,6 +65,41 @@ class Completion:
 
     def ready(self, now: float) -> bool:
         return now >= self.done_at
+
+
+class CacheRecord:
+    """One command captured in a volatile-write-cache barrier epoch.
+
+    ``kind`` is ``"write"`` (``data`` holds the payload) or
+    ``"discard"`` (``length`` holds the trimmed span).  ``seq`` is a
+    device-wide monotonically increasing command number; crash plans
+    select records by it.
+    """
+
+    __slots__ = ("seq", "kind", "offset", "data", "length")
+
+    WRITE = "write"
+    DISCARD = "discard"
+
+    def __init__(
+        self,
+        seq: int,
+        kind: str,
+        offset: int,
+        data: bytes = b"",
+        length: int = 0,
+    ) -> None:
+        self.seq = seq
+        self.kind = kind
+        self.offset = offset
+        self.data = data
+        self.length = length if kind == self.DISCARD else len(data)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"CacheRecord(seq={self.seq}, {self.kind}, off={self.offset}, "
+            f"len={self.length})"
+        )
 
 
 class ExtentStore:
@@ -164,11 +225,25 @@ class BlockDevice:
         profile: DeviceProfile,
         charge_time: bool = True,
         obs=None,
+        volatile_cache: bool = False,
     ) -> None:
         self.clock = clock
         self.profile = profile
         self.stats = IOStats()
         self.store = ExtentStore()
+        #: Volatile-write-cache epoch log (crash exploration; see the
+        #: module docstring).  ``_base`` is the store snapshot at
+        #: enable time; ``_epochs`` holds the records of every sealed
+        #: barrier epoch; ``_open_epoch`` collects commands accepted
+        #: since the last flush.
+        self.volatile_cache = volatile_cache
+        self._base: List[Tuple[int, bytes]] = []
+        self._epochs: List[List[CacheRecord]] = []
+        self._open_epoch: List[CacheRecord] = []
+        self._cache_seq = 0
+        #: Latent sector errors injected by a crash plan (crash twins
+        #: only); reads touching one raise :class:`MediaError`.
+        self._bad_sectors: frozenset = frozenset()
         #: Page-mapped FTL timing/accounting model (None when the
         #: profile has no flash geometry: HDDs, the null device).
         self.ftl: Optional[FlashTranslationLayer] = (
@@ -242,6 +317,64 @@ class BlockDevice:
             self._lat_gc = None
 
     # ------------------------------------------------------------------
+    # Volatile write cache (crash exploration)
+    # ------------------------------------------------------------------
+    def enable_volatile_cache(self) -> None:
+        """Start recording barrier epochs from the current contents.
+
+        Everything already stored becomes the durable base; subsequent
+        writes/TRIMs join the open epoch until the next ``flush``.
+        Idempotent.  Purely observational: no simulated time is
+        charged, and the read/write paths behave identically.
+        """
+        if self.volatile_cache:
+            return
+        self.volatile_cache = True
+        self._base = self.store.snapshot()
+
+    def _record(self, record: CacheRecord) -> None:
+        self._open_epoch.append(record)
+
+    def _next_seq(self) -> int:
+        seq = self._cache_seq
+        self._cache_seq += 1
+        return seq
+
+    def _seal_epoch(self) -> None:
+        """A flush barrier completed: the open epoch becomes durable."""
+        if not self.volatile_cache:
+            return
+        self._epochs.append(self._open_epoch)
+        self._open_epoch = []
+
+    def sealed_epochs(self) -> int:
+        """Number of barrier epochs sealed since volatile-cache enable."""
+        return len(self._epochs)
+
+    def epoch_records(self, epoch: Optional[int] = None) -> Tuple[CacheRecord, ...]:
+        """Commands of one barrier epoch (``None`` = the open epoch)."""
+        if epoch is None:
+            return tuple(self._open_epoch)
+        return tuple(self._epochs[epoch])
+
+    def unflushed(self) -> Tuple[CacheRecord, ...]:
+        """Commands accepted since the last flush barrier."""
+        return tuple(self._open_epoch)
+
+    def _check_media(self, offset: int, length: int) -> None:
+        if not self._bad_sectors:
+            return
+        sector = self.profile.sector
+        first = offset // sector
+        last = (offset + max(length, 1) - 1) // sector
+        for s in range(first, last + 1):
+            if s in self._bad_sectors:
+                raise MediaError(
+                    f"latent sector error: sector {s} "
+                    f"(read of {length} bytes at {offset})"
+                )
+
+    # ------------------------------------------------------------------
     # Internal timing
     # ------------------------------------------------------------------
     def _round(self, nbytes: int) -> int:
@@ -310,6 +443,7 @@ class BlockDevice:
 
     def submit_read(self, offset: int, length: int) -> Completion:
         """Start an asynchronous read; data is available on wait()."""
+        self._check_media(offset, length)
         nbytes = self._round(length)
         sequential = self._note_stream(self._read_streams, offset, offset + length)
         dur = self._io_duration(nbytes, write=False, sequential=sequential)
@@ -359,6 +493,10 @@ class BlockDevice:
                         "dev.gc", "device", done - gc_seconds, gc_seconds,
                     )
         self.store.write(offset, data)
+        if self.volatile_cache:
+            self._record(
+                CacheRecord(self._next_seq(), CacheRecord.WRITE, offset, bytes(data))
+            )
         if self.san is not None:
             self.san.on_device_op(self, "write", dur)
         return Completion(done, None, write=True)
@@ -383,11 +521,17 @@ class BlockDevice:
         self.wait(completion)
 
     def flush(self) -> None:
-        """Barrier: wait for all outstanding I/O plus a cache flush."""
+        """Barrier: wait for all outstanding I/O plus a cache flush.
+
+        In volatile-cache mode this is also the durability boundary:
+        the open barrier epoch is sealed, so everything accepted so far
+        appears in every subsequent crash image regardless of the plan.
+        """
         if not self.charge_time:
             self.stats.record_flush(0.0)
             if self.san is not None:
                 self.san.on_device_op(self, "flush", 0.0)
+            self._seal_epoch()
             return
         dur = self.profile.flush_lat
         done = self._schedule(dur)
@@ -399,6 +543,7 @@ class BlockDevice:
         if self.san is not None:
             self.san.on_device_op(self, "flush", dur)
         self.clock.wait_until(done)
+        self._seal_epoch()
 
     def discard(self, offset: int, length: int) -> None:
         """TRIM a byte range.
@@ -417,25 +562,115 @@ class BlockDevice:
         if self.ftl is not None:
             self.ftl.trim(offset, length)
         self.store.discard(offset, length)
+        if self.volatile_cache:
+            self._record(
+                CacheRecord(
+                    self._next_seq(), CacheRecord.DISCARD, offset, length=length
+                )
+            )
         if self.san is not None:
             self.san.on_device_op(self, "discard", dur)
 
     # ------------------------------------------------------------------
     # Crash simulation
     # ------------------------------------------------------------------
-    def crash_image(self) -> "BlockDevice":
-        """Return a new device holding a copy of the persisted state.
+    def crash_image(self, plan=None, obs=None) -> "BlockDevice":
+        """Return a new device holding a copy of a crashed state.
 
         The copy shares no mutable state with this device; a stack can
-        be rebooted against it to exercise crash recovery.  (We model
-        the device write cache as durable — the paper's SSD has a
-        non-volatile cache — so everything accepted is in the image.)
-        The image carries the FTL state too: an aged device's crash
-        twin reboots equally aged, with the same mapping, free pool,
-        and wear.
+        be rebooted against it to exercise crash recovery.  This call
+        never perturbs the live device, so many images (one per plan)
+        can be materialized from the same instant.
+
+        With ``plan=None`` the write cache is treated as durable — the
+        paper's SSD has a power-loss-protected cache — so everything
+        accepted is in the image, and the image carries the cloned FTL
+        state: an aged device's crash twin reboots equally aged, with
+        the same mapping, free pool, and wear.  This is the historical
+        behaviour and stays bit-identical to the pre-volatile-cache
+        device.
+
+        With a *crash plan* (volatile-cache mode only; see
+        :mod:`repro.crashmc.plan`) the image is **durable epochs before
+        ``plan.epoch`` + the plan-selected subset of that epoch**, with
+        the last selected write optionally torn at sector granularity
+        (``plan.torn_tail_sectors`` leading sectors persist) and
+        optional media faults applied: ``plan.bitflips`` XOR stored
+        bytes, ``plan.bad_sectors`` become latent read errors
+        (:class:`MediaError`).  FTL accounting state is *not* part of
+        the crash contract — it describes accepted commands, not
+        persisted ones — so planned images carry no FTL and the offline
+        fsck skips its FTL leg.
+
+        Wiring: the twin inherits the profile and ``charge_time`` but
+        is born *unobserved* and *unsanitized* — its clock starts at
+        zero, so attaching the crashed mount's tracer or sanitizers
+        (which reference the old clock and environment) would corrupt
+        both timelines.  Pass ``obs`` (a :class:`repro.obs.MountScope`
+        built on the twin's clock) or call :meth:`attach_obs` to
+        observe the reboot; a recovering environment re-installs
+        sanitizers via its own ``config.sanitize``.
         """
         twin = BlockDevice(SimClock(), self.profile, charge_time=self.charge_time)
-        twin.store = ExtentStore.from_snapshot(self.store.snapshot())
-        if self.ftl is not None:
-            twin.ftl = self.ftl.clone()
+        if plan is None:
+            twin.store = ExtentStore.from_snapshot(self.store.snapshot())
+            if self.ftl is not None:
+                twin.ftl = self.ftl.clone()
+            twin.attach_obs(obs)
+            return twin
+        if not self.volatile_cache:
+            raise ValueError(
+                "crash plans require volatile-cache mode "
+                "(BlockDevice(volatile_cache=True) or enable_volatile_cache())"
+            )
+        store = ExtentStore.from_snapshot(self._base)
+        epoch = plan.epoch if plan.epoch is not None else len(self._epochs)
+        if not 0 <= epoch <= len(self._epochs):
+            raise ValueError(
+                f"plan epoch {epoch} out of range (0..{len(self._epochs)})"
+            )
+        for records in self._epochs[:epoch]:
+            self._apply_records(store, records)
+        at_risk = (
+            self._open_epoch if epoch == len(self._epochs) else self._epochs[epoch]
+        )
+        selected_seqs = set(plan.selected)
+        selected = [r for r in at_risk if r.seq in selected_seqs]
+        self._apply_records(
+            store, selected, torn_tail_sectors=plan.torn_tail_sectors
+        )
+        for off, mask in plan.bitflips:
+            cur = store.read(off, 1)
+            store.write(off, bytes([cur[0] ^ (mask & 0xFF or 0x01)]))
+        twin.store = store
+        twin.ftl = None
+        twin._bad_sectors = frozenset(plan.bad_sectors)
+        twin.attach_obs(obs)
         return twin
+
+    def _apply_records(
+        self,
+        store: ExtentStore,
+        records: Sequence[CacheRecord],
+        torn_tail_sectors: Optional[int] = None,
+    ) -> None:
+        """Replay cache records into ``store`` in acceptance order.
+
+        ``torn_tail_sectors`` tears the *last write* of ``records``:
+        only that many leading sectors of its payload persist.
+        """
+        last_write = None
+        if torn_tail_sectors is not None:
+            for rec in reversed(records):
+                if rec.kind == CacheRecord.WRITE:
+                    last_write = rec
+                    break
+        for rec in records:
+            if rec.kind == CacheRecord.DISCARD:
+                store.discard(rec.offset, rec.length)
+                continue
+            data = rec.data
+            if rec is last_write:
+                data = data[: torn_tail_sectors * self.profile.sector]
+            if data:
+                store.write(rec.offset, data)

@@ -37,13 +37,17 @@ def main(argv=None) -> int:
     )
     parser.add_argument(
         "target",
-        choices=["table1", "table3", "fig2", "hdd", "all", "stats", "ftl", "fsck"],
+        choices=[
+            "table1", "table3", "fig2", "hdd", "all", "stats", "ftl",
+            "fsck", "torture",
+        ],
         help="which artifact to regenerate (hdd = the prior-work "
         "'compleat on an HDD' context for BetrFS v0.4; stats = run a "
         "workload and print the per-layer observability tables; ftl = "
         "age a tiny flash device and report WA / GC-pause / erase "
         "telemetry; fsck = check a saved device image, see "
-        "repro.check.fsck)",
+        "repro.check.fsck; torture = systematic crash-state "
+        "exploration, see repro.crashmc)",
     )
     parser.add_argument(
         "image",
@@ -85,11 +89,43 @@ def main(argv=None) -> int:
         help="record spans and write a Chrome trace_event JSON "
         "(chrome://tracing / Perfetto) after the run",
     )
+    parser.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        help="root RNG seed for the torture target (every derived "
+        "stream is integer-keyed off it; same seed = bit-identical "
+        "summary)",
+    )
+    parser.add_argument(
+        "--budget",
+        type=int,
+        default=200,
+        help="crash states to explore for the torture target, split "
+        "across the workloads",
+    )
+    parser.add_argument(
+        "--torture-out",
+        default=None,
+        metavar="REPRO_JSON",
+        help="where the torture target writes the shrunk repro file "
+        "if a violation is found (default: crashmc-repro.json)",
+    )
     parser.add_argument("--quiet", action="store_true")
     args = parser.parse_args(argv)
 
     if args.target == "fsck":
         return _run_fsck(args.image, verbose=not args.quiet)
+    if args.target == "torture":
+        if args.image is not None:
+            parser.error("an image argument is only valid for the fsck target")
+        return _run_torture(
+            seed=args.seed,
+            budget=args.budget,
+            repro_out=args.torture_out or "crashmc-repro.json",
+            metrics_out=args.metrics_out,
+            verbose=not args.quiet,
+        )
     if args.image is not None:
         parser.error("an image argument is only valid for the fsck target")
 
@@ -188,6 +224,65 @@ def _run_fsck(image_path, verbose: bool = True) -> int:
     if verbose or not report.ok:
         print(report.render())
     return 0 if report.ok else 1
+
+
+def _run_torture(
+    seed: int,
+    budget: int,
+    repro_out: str,
+    metrics_out=None,
+    verbose: bool = True,
+) -> int:
+    """``python -m repro.harness torture --seed N --budget M``.
+
+    Runs the :class:`repro.crashmc.CrashExplorer` over the registered
+    workloads and prints the summary as deterministic JSON on stdout —
+    no wall time, sorted keys — so CI can diff two fixed-seed runs
+    byte-for-byte.  On a violation the first (already shrunk) failing
+    schedule is written to ``repro_out`` and the exit code is 1.
+    """
+    from repro.crashmc import CrashExplorer
+    from repro.crashmc.shrink import repro_dict, save_repro
+
+    obs = Observability()
+    with session(obs):
+        explorer = CrashExplorer(seed=seed, budget=budget)
+        summary = explorer.run()
+    print(json.dumps(summary.to_dict(), indent=1, sort_keys=True))
+    if metrics_out:
+        obs.write_metrics(metrics_out)
+        print(f"metrics written to {metrics_out}", file=sys.stderr)
+    if summary.violations:
+        first = summary.failures[0]
+        save_repro(
+            repro_out,
+            repro_dict(
+                first.workload,
+                seed,
+                first.op_index,
+                first.shrunk,
+                stage=first.stage,
+                detail=first.detail,
+            ),
+        )
+        print(
+            f"crash-consistency VIOLATION at {first.workload} "
+            f"op {first.op_index} ({first.op}): {first.detail}",
+            file=sys.stderr,
+        )
+        print(
+            f"shrunk repro written to {repro_out}; replay with: "
+            f"python -m repro.crashmc.shrink {repro_out}",
+            file=sys.stderr,
+        )
+        return 1
+    if verbose:
+        print(
+            f"torture: {summary.cases} crash states across "
+            f"{len(summary.workloads)} workloads, no violations",
+            file=sys.stderr,
+        )
+    return 0
 
 
 if __name__ == "__main__":

@@ -21,6 +21,7 @@ Key properties, each fixing a v0.4 bottleneck:
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Dict, Tuple
 
 from repro.device.block import BlockDevice, Completion
@@ -35,6 +36,52 @@ MIB = 1024 * 1024
 SUPERBLOCK_SIZE = 8 * MIB
 
 
+@dataclass(frozen=True)
+class ImageLayout:
+    """SFL static partition offsets for one carved device/image.
+
+    The single source of truth for where each region starts: the SFL
+    carves from it, the offline fsck walks with it, and crash/failure
+    tests address regions through it instead of hard-coded byte
+    offsets.  ``capacity`` bounds the trailing ``data.db`` region (0 is
+    legal when only the bases matter).
+    """
+
+    log_size: int
+    meta_size: int
+    capacity: int = 0
+
+    @property
+    def log_base(self) -> int:
+        return SUPERBLOCK_SIZE
+
+    @property
+    def meta_base(self) -> int:
+        return SUPERBLOCK_SIZE + self.log_size
+
+    @property
+    def data_base(self) -> int:
+        return self.meta_base + self.meta_size
+
+    @property
+    def data_size(self) -> int:
+        return self.capacity - self.data_base
+
+    def file_base(self, name: str) -> int:
+        return {
+            "superblock": 0,
+            "log": self.log_base,
+            "meta.db": self.meta_base,
+            "data.db": self.data_base,
+        }[name]
+
+    def tree_region(self, index: int) -> Tuple[int, int]:
+        """(base, size) of the ``index``-th tree file (meta, data)."""
+        if index == 0:
+            return self.meta_base, self.meta_size
+        return self.data_base, self.data_size
+
+
 class SimpleFileLayer(Southbound):
     """Static-layout, direct-I/O southbound (BetrFS v0.6)."""
 
@@ -46,19 +93,20 @@ class SimpleFileLayer(Southbound):
         meta_size: int = 256 * MIB,
     ) -> None:
         super().__init__(device, costs)
-        self._files: Dict[str, Tuple[int, int]] = {}
-        cursor = 0
-
-        def carve(name: str, size: int) -> None:
-            nonlocal cursor
-            self._files[name] = (cursor, size)
-            cursor += size
-
-        carve("superblock", SUPERBLOCK_SIZE)
-        carve("log", log_size)
-        carve("meta.db", meta_size)
-        remaining = device.profile.capacity - cursor
-        carve("data.db", remaining)
+        #: Region offsets come from the shared :class:`ImageLayout`, so
+        #: the carve, the offline fsck, and the failure tests can never
+        #: disagree about where a region starts.
+        self.layout = ImageLayout(
+            log_size=log_size,
+            meta_size=meta_size,
+            capacity=device.profile.capacity,
+        )
+        self._files: Dict[str, Tuple[int, int]] = {
+            "superblock": (0, SUPERBLOCK_SIZE),
+            "log": (self.layout.log_base, log_size),
+            "meta.db": (self.layout.meta_base, meta_size),
+            "data.db": (self.layout.data_base, self.layout.data_size),
+        }
 
     # ------------------------------------------------------------------
     def create(self, name: str, size: int) -> None:

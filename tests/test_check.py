@@ -14,7 +14,7 @@ from repro.check.errors import (
 )
 from repro.check.fsck import fsck_device, load_image, save_image
 from repro.core.env import DATA, META
-from tests.test_env import make_env, reopen, small_cfg
+from tests.test_env import LAYOUT, make_env, reopen, small_cfg
 
 MIB = 1 << 20
 FIXTURES = os.path.join(os.path.dirname(__file__), "fixtures", "lint")
@@ -213,10 +213,9 @@ class TestFsck:
         env, device = self._built_env()
         image = device.crash_image()
         off, ln = env.meta.blockman.lookup(env.meta.root_id)
-        meta_base = 8 * MIB + 8 * MIB  # superblock + log regions
-        raw = bytearray(image.store.read(meta_base + off, ln))
+        raw = bytearray(image.store.read(LAYOUT.meta_base + off, ln))
         raw[ln // 3] ^= 0x01  # single flipped bit
-        image.store.write(meta_base + off, bytes(raw))
+        image.store.write(LAYOUT.meta_base + off, bytes(raw))
         report = fsck_device(image, log_size=8 * MIB, meta_size=64 * MIB)
         assert not report.ok
         assert any("unreadable" in e for e in report.errors)

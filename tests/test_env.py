@@ -11,9 +11,14 @@ from repro.device.clock import SimClock
 from repro.kmem.allocator import KernelAllocator
 from repro.model.costs import CostModel
 from repro.model.profiles import COMMODITY_SSD
-from repro.storage.sfl import SimpleFileLayer
+from repro.storage.sfl import ImageLayout, SimpleFileLayer
 
 MIB = 1 << 20
+
+#: The carve every environment in this suite (and the failure-injection
+#: suite) is built with; region offsets come from here, never from
+#: hard-coded byte values.
+LAYOUT = ImageLayout(log_size=8 * MIB, meta_size=64 * MIB)
 
 
 def small_cfg(**over):
@@ -128,9 +133,8 @@ class TestCheckpointRecovery:
         from repro.core.checkpoint import Superblock
 
         slot = env._sb_generation % 2
-        base = slot * Superblock.SLOT_SIZE
-        device.store.write(base + 8 * MIB * 0 + 100, b"\xde\xad")  # in superblock region
-        # (superblock file starts at SFL offset 0)
+        base = LAYOUT.file_base("superblock") + slot * Superblock.SLOT_SIZE
+        device.store.write(base + 100, b"\xde\xad")  # inside the live slot
         env2 = reopen(device)
         # Falls back to the previous checkpoint; log replay reapplies.
         assert env2.get(META, b"k") in (b"gen1", b"gen2")

@@ -11,7 +11,7 @@ import pytest
 
 from repro.core.env import DATA, META
 from repro.core.messages import PageFrame, value_bytes
-from tests.test_env import make_env, reopen
+from tests.test_env import LAYOUT, make_env, reopen
 
 MIB = 1 << 20
 
@@ -27,8 +27,7 @@ class TestTornLog:
         env.wal.flush(durable=False)
         # Tear the last flushed bytes (simulate a partial sector write).
         head = env.wal.head
-        log_base = 8 * MIB  # SFL layout: superblock region then log
-        device.store.write(log_base + head - 7, b"\x00" * 7)
+        device.store.write(LAYOUT.log_base + head - 7, b"\x00" * 7)
         env2 = reopen(device)
         # The synced prefix survives; the torn suffix is dropped
         # without corrupting anything.
@@ -41,8 +40,7 @@ class TestTornLog:
         env, device = make_env()
         env.insert(META, b"k", b"v")
         env.sync()
-        log_base = 8 * MIB
-        device.store.write(log_base + env.wal.head + 4096, b"\xa5" * 512)
+        device.store.write(LAYOUT.log_base + env.wal.head + 4096, b"\xa5" * 512)
         env2 = reopen(device)
         assert env2.get(META, b"k") == b"v"
 
@@ -58,8 +56,9 @@ class TestCorruptNodes:
         env.close()
         # Corrupt a byte inside the meta tree region.
         root_off, root_len = env.meta.blockman.lookup(env.meta.root_id)
-        meta_base = 8 * MIB + 8 * MIB  # superblock + log regions
-        device.store.write(meta_base + root_off + root_len // 2, b"\xff")
+        device.store.write(
+            LAYOUT.meta_base + root_off + root_len // 2, b"\xff"
+        )
         # The offline checker flags the damage up front ...
         report = fsck_device(
             device.crash_image(), log_size=8 * MIB, meta_size=64 * MIB
@@ -127,6 +126,113 @@ class TestCrashStorm:
             device = env.storage.device  # continue on the rebooted disk
             for key, body in pages.items():
                 assert value_bytes(env.get(DATA, key)) == body
+
+
+class TestPlanDrivenCrashes:
+    """The same failure shapes the ad-hoc tests above poke by hand,
+    expressed as repro.crashmc crash plans: the volatile write cache
+    produces the torn/lost states by construction instead of byte
+    surgery at magic offsets."""
+
+    def _stack(self):
+        from repro.crashmc.explore import _Stack
+
+        return _Stack()
+
+    def _ops(self, *ops):
+        from repro.crashmc import Oracle
+
+        stack = self._stack()
+        oracle = Oracle()
+        for op in ops:
+            oracle.begin(op)
+            stack.apply(op)
+            oracle.commit(op)
+        return stack, oracle
+
+    def test_torn_log_tail_via_plan(self):
+        """Engine-driven version of test_torn_tail_entry_is_discarded:
+        tear the unflushed WAL write at every sector cut instead of
+        zeroing bytes at a hand-computed offset."""
+        from repro.crashmc import Op, run_case
+        from repro.crashmc.plan import CrashPlan
+        from repro.crashmc.explore import VIOLATION
+        from repro.device.block import CacheRecord
+
+        ops = [Op("insert", META, b"k%02d" % i, b"v") for i in range(50)]
+        ops.append(Op("sync"))
+        ops += [Op("insert", META, b"k%02d" % i, b"late") for i in range(50, 60)]
+        ops.append(Op("wflush"))
+        stack, oracle = self._ops(*ops)
+        writes = [
+            r for r in stack.device.unflushed() if r.kind == CacheRecord.WRITE
+        ]
+        assert writes, "wflush produced no at-risk log write"
+        sector = stack.device.profile.sector
+        last = writes[-1]
+        sectors = (last.length + sector - 1) // sector
+        seqs = tuple(r.seq for r in stack.device.unflushed())
+        for cut in range(1, max(sectors, 2)):
+            plan = CrashPlan(selected=seqs, torn_tail_sectors=cut)
+            result = run_case(stack, oracle, plan)
+            assert result.status != VIOLATION, (cut, result.detail)
+
+    def test_crash_storm_via_plans(self):
+        """Engine-driven version of test_crash_storm_full_stack: after
+        each generation, every prefix of the unflushed commands must
+        recover oracle-consistent."""
+        from repro.crashmc import Op, Oracle, run_case
+        from repro.crashmc.plan import CrashPlan
+        from repro.crashmc.explore import VIOLATION
+
+        rng = random.Random(9)
+        stack = self._stack()
+        oracle = Oracle()
+        cases = 0
+        for generation in range(4):
+            ops = [
+                Op(
+                    "insert", META,
+                    b"g%02d-%02d" % (generation, rng.randrange(30)),
+                    b"gen%d" % generation,
+                )
+                for _ in range(20)
+            ]
+            ops.append(Op("wflush"))
+            ops.append(Op("checkpoint" if generation % 2 else "sync"))
+            for op in ops:
+                oracle.begin(op)
+                stack.apply(op)
+                oracle.commit(op)
+            seqs = [r.seq for r in stack.device.unflushed()]
+            for i in range(len(seqs) + 1):
+                plan = CrashPlan(selected=tuple(seqs[:i]))
+                result = run_case(stack, oracle, plan)
+                assert result.status != VIOLATION, (
+                    generation, plan.describe(), result.detail,
+                )
+                cases += 1
+        assert cases >= 4  # at least the empty plan per generation
+
+    def test_corrupt_node_via_media_plan(self):
+        """Engine-driven version of the node-corruption test: a
+        bit-flip media plan inside the checkpointed meta region must be
+        *detected* (fsck or checksum), never silently absorbed."""
+        from repro.crashmc import Op, run_case
+        from repro.crashmc.plan import CrashPlan
+        from repro.crashmc.explore import VIOLATION
+
+        ops = [
+            Op("insert", META, b"key%04d" % i, b"value" * 5) for i in range(300)
+        ]
+        ops.append(Op("checkpoint"))
+        stack, oracle = self._ops(*ops)
+        root_off, root_len = stack.env.meta.blockman.lookup(stack.env.meta.root_id)
+        offset = stack.layout.meta_base + root_off + root_len // 2
+        result = run_case(stack, oracle, CrashPlan(bitflips=((offset, 0x80),)))
+        assert result.status != VIOLATION, result.detail
+        assert result.status == "detected", result
+        assert result.stage in ("fsck", "exception")
 
 
 class TestLogWrapUnderLoad:

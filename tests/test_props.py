@@ -124,6 +124,61 @@ def test_crash_recovery_preserves_synced_prefix(op_list):
 
 
 # ----------------------------------------------------------------------
+# Crash-prefix property: any durable prefix of the volatile write
+# cache recovers a state the crash oracle accepts (synced data intact,
+# unsynced ops as an atomic prefix).
+# ----------------------------------------------------------------------
+crashmc_ops = st.lists(
+    st.tuples(
+        st.sampled_from(["insert", "insert", "delete", "wflush", "sync"]),
+        st.integers(0, 15),
+        st.integers(0, 15),
+    ),
+    min_size=1,
+    max_size=30,
+)
+
+
+@settings(max_examples=10, deadline=None)
+@given(crashmc_ops)
+def test_any_cache_prefix_recovers_oracle_consistent(op_list):
+    from repro.crashmc import CrashPlan, Op, Oracle, run_case
+    from repro.crashmc.explore import VIOLATION, _Stack
+
+    stack = _Stack()
+    oracle = Oracle()
+    safe_epoch = 0  # epochs >= this were sealed after the last sync ack
+    for kind, x, y in op_list:
+        if kind == "insert":
+            op = Op("insert", META, b"k%02d" % x, b"v%02d" % y)
+        elif kind == "delete":
+            op = Op("delete", META, b"k%02d" % x)
+        else:
+            op = Op(kind)
+        oracle.begin(op)
+        stack.apply(op)
+        oracle.commit(op)
+        if kind == "sync":
+            safe_epoch = stack.device.sealed_epochs()
+    # Crash with every in-order prefix of the unflushed commands (the
+    # states an ordered cache drain can leave behind), plus every
+    # everything-lost rollback to a barrier epoch sealed since the
+    # last acknowledged sync (earlier rollbacks would lose data the
+    # oracle rightly believes durable — not a reachable crash state).
+    seqs = [r.seq for r in stack.device.unflushed()]
+    plans = [CrashPlan(selected=tuple(seqs[:i])) for i in range(len(seqs) + 1)]
+    plans += [
+        CrashPlan(selected=(), epoch=e)
+        for e in range(safe_epoch, stack.device.sealed_epochs())
+    ]
+    for plan in plans:
+        result = run_case(stack, oracle, plan)
+        assert result.status != VIOLATION, (
+            plan.describe(), result.stage, result.detail,
+        )
+
+
+# ----------------------------------------------------------------------
 # VFS-vs-model filesystem property
 # ----------------------------------------------------------------------
 from repro.betrfs.filesystem import MountOptions, make_betrfs  # noqa: E402
