@@ -18,6 +18,7 @@ import zlib
 from typing import Dict, List, Optional, Set, Tuple
 
 from repro.baselines.params import BaselineParams
+from repro.check.errors import require
 from repro.core.messages import PageFrame
 from repro.device.block import BlockDevice
 from repro.model.costs import CostModel
@@ -272,7 +273,7 @@ class BaselineFS(FileSystemBackend):
         self, path: str, idx: int, frame: PageFrame, nbytes: int
     ) -> bool:
         off = self._extent_offset(path, idx, allocate=True)
-        assert off is not None
+        require(off is not None, "allocate=True extent lookup returned no offset")
         # Sequential write-back is a property of device placement, not
         # of files: a stream of small files packed in one directory
         # zone writes back as one sequential run.

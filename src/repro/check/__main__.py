@@ -1,25 +1,43 @@
-"""CLI entry point: ``python -m repro.check lint [paths] [--no-allowlist]``."""
+"""CLI entry point for the checkers.
+
+``python -m repro.check lint [paths] [--format json] [--graph-out P]``
+runs the purity lint plus the whole-program analyses; ``arch`` and
+``costflow`` run each analysis alone (same exit-code contract).
+"""
 
 from __future__ import annotations
 
 import sys
 from typing import List, Optional
 
-from repro.check import lint
+_USAGE = (
+    "usage: python -m repro.check {lint,arch,costflow} [options]\n"
+    "  lint      purity lint + arch + costflow (--format json, --graph-out P)\n"
+    "  arch      layer-manifest / import-cycle analysis only\n"
+    "  costflow  must-charge byte-flow analysis only"
+)
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
     if not argv or argv[0] in ("-h", "--help"):
-        print(
-            "usage: python -m repro.check lint [paths ...] [--no-allowlist]",
-            file=sys.stderr,
-        )
+        print(_USAGE, file=sys.stderr)
         return 0 if argv else 2
     command, rest = argv[0], argv[1:]
     if command == "lint":
+        from repro.check import lint
+
         return lint.main(rest)
+    if command == "arch":
+        from repro.check import arch
+
+        return arch.main(rest)
+    if command == "costflow":
+        from repro.check import costflow
+
+        return costflow.main(rest)
     print(f"repro.check: unknown command {command!r}", file=sys.stderr)
+    print(_USAGE, file=sys.stderr)
     return 2
 
 

@@ -41,7 +41,12 @@ from dataclasses import dataclass, field
 from typing import List, Optional, Tuple, Union
 
 from repro.check.errors import FsckError
-from repro.core.checkpoint import BlockManager, Superblock
+from repro.core.checkpoint import (
+    BlockManager,
+    Superblock,
+    _trim,
+    read_slot_stamp,
+)
 from repro.core.node import InternalNode, LeafNode
 from repro.core.serialize import ChecksumError, decode_node, verify_crc
 from repro.core.wal import WriteAheadLog
@@ -177,6 +182,32 @@ def _check_superblock(store: ExtentStore, report: FsckReport) -> Optional[Superb
         return None
     report.superblock_generation = sb.generation
     report.clean_shutdown = sb.clean_shutdown
+    # Generation continuity: when the *other* slot holds data but does
+    # not decode, its completion stamp decides whether the fallback to
+    # ``sb`` is legal.  An intact stamp naming a newer generation means
+    # that write finished and the payload rotted afterwards — the
+    # survivor is valid but stale, and silently proceeding would hand
+    # back an old checkpoint as if it were current.  No (or an older)
+    # stamp is the torn-write reading: a legal crash artifact.
+    for slot_idx, raw in ((0, slot0), (1, slot1)):
+        if Superblock.deserialize(_trim(raw)) is not None:
+            continue
+        if not raw.strip(b"\x00"):
+            continue  # slot never written
+        stamp = read_slot_stamp(raw)
+        if stamp is not None and stamp[0] > sb.generation:
+            report.error(
+                f"superblock slot {slot_idx}: completed write of "
+                f"generation {stamp[0]} is unreadable; surviving "
+                f"generation {sb.generation} is a valid-but-stale "
+                "fallback (media corruption, not a torn write)"
+            )
+        else:
+            report.warn(
+                f"superblock slot {slot_idx}: torn checkpoint write "
+                f"(legal crash artifact); fell back to generation "
+                f"{sb.generation}"
+            )
     if len(sb.root_ids) != len(sb.block_tables):
         report.error(
             f"superblock: {len(sb.root_ids)} roots but "

@@ -26,13 +26,24 @@ test suite cannot see:
   extent-store call sites must live in the cost-charging layers
   (``device/``, ``storage/``, ``baselines/``); anywhere else an I/O
   would move bytes without charging simulated time.
+* ``bare-assert`` — no ``assert`` statements in ``src/repro``: CI runs
+  the crash/recovery subset under ``python -O``, which strips asserts,
+  so an invariant guarded by ``assert`` is an invariant that silently
+  stops being checked.  Use :func:`repro.check.errors.require` or a
+  typed :class:`~repro.check.errors.CheckError` subclass instead.
 
-Run it as ``python -m repro.check lint`` (exit 0 = clean).
+``python -m repro.check lint`` (exit 0 = clean) additionally runs the
+whole-program analyses — :mod:`repro.check.arch` (layer manifest +
+import cycles) and :mod:`repro.check.costflow` (must-charge
+reachability) — and merges their findings; ``--format json`` emits a
+machine-readable report and ``--graph-out PREFIX`` archives the import
+graph for CI.
 """
 
 from __future__ import annotations
 
 import ast
+import json
 import os
 from dataclasses import dataclass
 from typing import Iterable, List, Optional, Sequence, Set, Tuple
@@ -45,6 +56,7 @@ RULES = (
     "str-key",
     "mutable-default",
     "raw-device-io",
+    "bare-assert",
 )
 
 #: Wall-clock functions of the ``time`` module.
@@ -336,6 +348,17 @@ class _Linter(ast.NodeVisitor):
         self._check_defaults(node)
         self.generic_visit(node)
 
+    # ------------------------------------------------------------------
+    def visit_Assert(self, node: ast.Assert) -> None:
+        self._flag(
+            node,
+            "bare-assert",
+            "assert statement in src/repro: python -O strips it, so the "
+            "invariant silently stops being checked — use "
+            "repro.check.errors.require() or raise a typed CheckError",
+        )
+        self.generic_visit(node)
+
 
 # ----------------------------------------------------------------------
 def repo_root() -> str:
@@ -407,12 +430,19 @@ def lint_paths(
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
-    """CLI entry point used by ``python -m repro.check lint``."""
+    """CLI entry point used by ``python -m repro.check lint``.
+
+    A bare ``lint`` run composes three passes over ``src/repro``: the
+    per-file purity lint, the :mod:`repro.check.arch` layer/import
+    analysis, and the :mod:`repro.check.costflow` must-charge analysis.
+    Explicit ``paths`` run only the per-file lint (the whole-program
+    analyses need the whole program).
+    """
     import argparse
 
     parser = argparse.ArgumentParser(
         prog="python -m repro.check lint",
-        description="Simulation-purity lint for the repro codebase",
+        description="Simulation-purity lint + whole-program analyses",
     )
     parser.add_argument(
         "paths",
@@ -424,15 +454,77 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         action="store_true",
         help="report allowlisted findings too (used by the lint self-test)",
     )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        dest="fmt",
+        help="output format (json is machine-readable for CI)",
+    )
+    parser.add_argument(
+        "--graph-out",
+        metavar="PREFIX",
+        help="write the arch import graph to PREFIX.json + PREFIX.dot",
+    )
+    parser.add_argument(
+        "--no-analyses",
+        action="store_true",
+        help="skip the whole-program arch/costflow passes (AST lint only)",
+    )
     args = parser.parse_args(argv)
+
     if args.paths:
         violations = lint_paths(args.paths, use_allowlist=not args.no_allowlist)
+        waivers: List[str] = []
+        extra: dict = {}
     else:
         violations = lint_repo(use_allowlist=not args.no_allowlist)
+        waivers = []
+        extra = {}
+        if not args.no_analyses:
+            from repro.check import arch  # arch: allow[CLI composes the analyses; lazy import keeps module load acyclic]
+            from repro.check import costflow  # arch: allow[CLI composes the analyses; lazy import keeps module load acyclic]
+
+            arch_report = arch.analyze()
+            violations.extend(arch_report.violations)
+            waivers.extend(arch_report.waivers)
+            extra["arch"] = {
+                "modules": len(arch_report.modules),
+                "edges": len(arch_report.edges),
+            }
+            if args.graph_out:
+                extra["graph_files"] = arch.write_graph(
+                    arch_report, args.graph_out
+                )
+            cost_report = costflow.analyze()
+            violations.extend(cost_report.violations)
+            waivers.extend(cost_report.waivers)
+            extra["costflow"] = {
+                "functions": cost_report.functions,
+                "call_edges": cost_report.call_edges,
+                "charging_functions": cost_report.charging_functions,
+                "sources_checked": cost_report.sources_checked,
+            }
+
+    violations.sort(key=lambda v: (v.path, v.line, v.rule))
+    if args.fmt == "json":
+        payload = {
+            "ok": not violations,
+            "violations": [
+                {"path": v.path, "line": v.line, "rule": v.rule, "message": v.message}
+                for v in violations
+            ],
+            "waivers": waivers,
+        }
+        payload.update(extra)
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 1 if violations else 0
+    for rendered in waivers:
+        print(f"waived: {rendered}")
     for violation in violations:
         print(violation.render())
     if violations:
-        print(f"{len(violations)} purity violation(s)")
+        print(f"{len(violations)} violation(s)")
         return 1
     print("repro.check lint: clean")
     return 0

@@ -264,5 +264,84 @@ def _trim(raw: bytes) -> bytes:
 
 
 def frame_superblock(blob: bytes) -> bytes:
-    """Add the length header expected by :func:`_trim`."""
-    return struct.pack("<I", len(blob)) + blob
+    """Add the length header expected by :func:`_trim`, plus a
+    completion stamp.
+
+    The stamp — magic, generation, frame length, self-CRC — rides at
+    the tail of the frame, so it is the *last* region a sector-prefix
+    torn write persists.  That asymmetry is what lets fsck distinguish
+    the two ways a slot can fail to decode:
+
+    * **torn write** (crash mid-checkpoint): the tail sector still
+      holds old bytes, so no intact stamp claims a generation newer
+      than the surviving slot — a legal crash artifact, fallback is
+      silent;
+    * **media corruption** (bit rot in a *completed* write): the stamp
+      is intact and names a generation newer than the survivor — the
+      fallback is valid-but-stale and fsck must say so.
+
+    The generation is read out of the blob itself (it is the first
+    field after the magic) so callers need not thread it through.
+    Images framed before stamps existed simply have no stamp and
+    degrade to the torn-write reading.
+    """
+    framed = struct.pack("<I", len(blob)) + blob
+    generation = 0
+    if len(blob) >= 12 and blob[:4] == SUPERBLOCK_MAGIC:
+        (generation,) = struct.unpack_from("<q", blob, 4)
+    return framed + _stamp(generation, len(blob))
+
+
+#: Tail-stamp layout: magic + generation (q) + frame length (I) + CRC.
+STAMP_MAGIC = b"BFST"
+STAMP_SIZE = 4 + 8 + 4 + 4
+
+
+def _stamp(generation: int, length: int) -> bytes:
+    head = STAMP_MAGIC + struct.pack("<qI", generation, length)
+    return head + struct.pack("<I", zlib.crc32(head) & 0xFFFFFFFF)
+
+
+def _stamp_at(raw: bytes, pos: int) -> Optional[Tuple[int, int]]:
+    """Decode and self-verify a stamp at ``pos``; position must agree."""
+    stamp = raw[pos : pos + STAMP_SIZE]
+    if len(stamp) != STAMP_SIZE or stamp[:4] != STAMP_MAGIC:
+        return None
+    head, crc_raw = stamp[:-4], stamp[-4:]
+    if struct.unpack("<I", crc_raw)[0] != (zlib.crc32(head) & 0xFFFFFFFF):
+        return None
+    generation, stamped_length = struct.unpack_from("<qI", head, 4)
+    if pos != 4 + stamped_length:
+        return None  # an intact stamp always sits at its frame's tail
+    return generation, stamped_length
+
+
+def read_slot_stamp(raw: bytes) -> Optional[Tuple[int, int]]:
+    """``(generation, blob length)`` of an intact completion stamp.
+
+    ``None`` means no intact stamp exists — the slot was never fully
+    written (torn / empty / pre-stamp image).  Callers treat ``None``
+    as the benign reading; only an *intact* stamp can prove a write
+    completed.
+
+    The primary position comes from the length header; if that header
+    is itself damaged (a media fault can hit any byte) the slot is
+    scanned for the stamp magic, and a candidate counts only when its
+    self-CRC holds *and* it sits exactly where a frame of its recorded
+    length would end — a sector-prefix torn write cannot fabricate
+    that, because the stamp is the last region written.
+    """
+    if len(raw) < 4:
+        return None
+    (length,) = struct.unpack_from("<I", raw, 0)
+    if length > 0:
+        found = _stamp_at(raw, 4 + length)
+        if found is not None:
+            return found
+    pos = raw.rfind(STAMP_MAGIC)
+    while pos != -1:
+        found = _stamp_at(raw, pos)
+        if found is not None:
+            return found
+        pos = raw.rfind(STAMP_MAGIC, 0, pos)
+    return None

@@ -89,7 +89,7 @@ class KVEnv:
             obs.register_object("tree.nodecache", self.cache, layer="cache")
         self.san = None
         if config.sanitize:
-            from repro.check.sanitize import SanitizerSuite
+            from repro.check.sanitize import SanitizerSuite  # arch: allow[opt-in observer: sanitizers watch core from above; lazy import so core never loads them unless config.sanitize]
 
             self.san = SanitizerSuite(self)
             self.san.install()

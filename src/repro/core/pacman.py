@@ -23,6 +23,7 @@ from dataclasses import dataclass
 from typing import List, Tuple
 
 from repro.core.messages import Message, RangeDelete, release_message
+from repro.check.errors import require
 
 
 @dataclass
@@ -62,7 +63,7 @@ def compact(
         if dead[ri]:
             continue
         rng = messages[ri]
-        assert isinstance(rng, RangeDelete)
+        require(isinstance(rng, RangeDelete), "range index points at a non-RangeDelete message")
         merged_start, merged_end = rng.start, rng.end
         for j in range(n):
             if j == ri or dead[j]:

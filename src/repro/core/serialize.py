@@ -28,6 +28,7 @@ from dataclasses import dataclass, field
 from typing import List, Optional, Tuple
 
 from repro.core.keys import common_prefix_of
+from repro.check.errors import require
 from repro.core.messages import (
     Delete,
     Insert,
@@ -545,7 +546,7 @@ def decode_internal(data: bytes, aligned: bool, verify: bool = True) -> Internal
 def serialize_node(node: Node, aligned: bool, lifting: bool) -> SerializedNode:
     if isinstance(node, LeafNode):
         return serialize_leaf(node, aligned, lifting)
-    assert isinstance(node, InternalNode)
+    require(isinstance(node, InternalNode), "serialize_node: unknown node class", detail=type(node).__name__)
     return serialize_internal(node, aligned, lifting)
 
 

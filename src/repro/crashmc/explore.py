@@ -50,7 +50,7 @@ from repro.kmem.allocator import KernelAllocator
 from repro.model.costs import CostModel
 from repro.model.profiles import COMMODITY_SSD
 from repro.obs import scope_for_mount
-from repro.storage.sfl import ImageLayout, SimpleFileLayer
+from repro.storage.sfl import SUPERBLOCK_SIZE, ImageLayout, SimpleFileLayer
 
 MIB = 1 << 20
 
@@ -415,11 +415,15 @@ class CrashExplorer:
         for epoch in range(report.sealed_epochs):
             self._h_epoch.observe(len(stack.device.epoch_records(epoch)))
 
-        # Media sweep at the final state: seeded faults in the carve
-        # (never the superblock region; see DESIGN.md, "Known gap").
+        # Media sweep at the final state: seeded faults across the
+        # whole carve, superblock region included — the completion
+        # stamp (core.checkpoint.read_slot_stamp) lets fsck tell a
+        # flipped byte in the newest slot (valid-but-stale fallback,
+        # reported) from a torn checkpoint write (legal, silent).
         if media_quota > 0:
             layout = stack.layout
             regions = [
+                (0, SUPERBLOCK_SIZE),
                 (layout.log_base, stack.LOG_SIZE),
                 (layout.meta_base, stack.META_SIZE),
                 (layout.data_base, min(stack.DATA_SIZE, 4 * MIB)),
@@ -473,7 +477,7 @@ class CrashExplorer:
     def _shrink(
         self, stack: _Stack, oracle: Oracle, plan: CrashPlan
     ) -> CrashPlan:
-        from repro.crashmc.shrink import shrink_plan
+        from repro.crashmc.shrink import shrink_plan  # arch: allow[shrinker and explorer call each other (shrink replays via run_case); lazy import keeps module load acyclic]
 
         def still_fails(candidate: CrashPlan) -> bool:
             return run_case(stack, oracle, candidate).status == VIOLATION

@@ -640,8 +640,8 @@ class BlockDevice:
             store, selected, torn_tail_sectors=plan.torn_tail_sectors
         )
         for off, mask in plan.bitflips:
-            cur = store.read(off, 1)
-            store.write(off, bytes([cur[0] ^ (mask & 0xFF or 0x01)]))
+            cur = store.read(off, 1)  # costflow: allow[crash-image bit-flip probe: offline snapshot, no simulated timeline]
+            store.write(off, bytes([cur[0] ^ (mask & 0xFF or 0x01)]))  # costflow: allow[crash-image bit-flip injection: offline snapshot, no simulated timeline]
         twin.store = store
         twin.ftl = None
         twin._bad_sectors = frozenset(plan.bad_sectors)
@@ -673,4 +673,4 @@ class BlockDevice:
             if rec is last_write:
                 data = data[: torn_tail_sectors * self.profile.sector]
             if data:
-                store.write(rec.offset, data)
+                store.write(rec.offset, data)  # costflow: allow[crash-image replay materializes a hypothetical post-crash disk; costs were charged when the cached writes were accepted]

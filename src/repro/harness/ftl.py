@@ -18,6 +18,7 @@ from __future__ import annotations
 import random
 from typing import Dict
 
+from repro.check.errors import require
 from repro.betrfs.filesystem import MIB, MountOptions, make_betrfs
 from repro.model.profiles import small_ftl_profile
 from repro.workloads.aging import age_device
@@ -103,10 +104,10 @@ def run_ftl_smoke(
     }
 
     # The point of the smoke: the whole pipeline emitted signal.
-    assert out["write_amplification"] > 1.0, out
-    assert out["gc_runs"] > 0 and out["gc_pause_count"] > 0, out
-    assert out["erases"] > 0, out
-    assert out["discards"] > 0, out
+    require(out["write_amplification"] > 1.0, "smoke: WA must exceed 1", detail=out)
+    require(out["gc_runs"] > 0 and out["gc_pause_count"] > 0, "smoke: GC never ran", detail=out)
+    require(out["erases"] > 0, "smoke: no erases", detail=out)
+    require(out["discards"] > 0, "smoke: no discards", detail=out)
     collected = mount.obs.collect()
     gauges = {
         m["name"] for m in collected["metrics"] if m["kind"] == "gauge"
@@ -116,8 +117,12 @@ def run_ftl_smoke(
         "ftl.free_blocks",
         "ftl.erase_count_max",
     ):
-        assert required in gauges, f"missing gauge {required}: {sorted(gauges)}"
-    assert "device.ftl" in collected["objects"], collected["objects"].keys()
+        require(required in gauges, f"missing gauge {required}", detail=sorted(gauges))
+    require(
+        "device.ftl" in collected["objects"],
+        "FTL object dump missing",
+        detail=sorted(collected["objects"]),
+    )
 
     if verbose:
         print(f"  [ftl] {system} on {profile.name} (aged)")

@@ -10,6 +10,7 @@ the data size is larger than 12 GB").
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
+from repro.check.errors import require
 from typing import Optional
 
 from repro.model.costs import (
@@ -178,7 +179,7 @@ def small_ftl_profile(
     structures cheap).  The write cache shrinks with the capacity, like
     :func:`scaled_profile`.
     """
-    assert base.ftl is not None, "base profile has no FTL geometry"
+    require(base.ftl is not None, "base profile has no FTL geometry")
     return replace(
         base,
         name=f"{base.name}-ftl-{capacity >> 20}m",

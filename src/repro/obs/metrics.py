@@ -23,6 +23,7 @@ import bisect
 import math
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
+from repro.check.errors import require
 #: 1-2-5 series from 100 ns to 100 s — the span of simulated latencies.
 LATENCY_BOUNDS: Tuple[float, ...] = tuple(
     m * (10.0**e) for e in range(-7, 3) for m in (1.0, 2.0, 5.0)
@@ -149,7 +150,7 @@ class Histogram(Metric):
                 bucket <<= 1
             self._pow2[bucket] = self._pow2.get(bucket, 0) + 1
         else:
-            assert self._counts is not None
+            require(self._counts is not None, "histogram bounds set but counts missing")
             self._counts[bisect.bisect_left(self._bounds, value)] += 1
 
     # -- reading --------------------------------------------------------
@@ -157,7 +158,7 @@ class Histogram(Metric):
         """Non-empty ``(upper_bound, count)`` pairs in bound order."""
         if self._bounds is None:
             return sorted(self._pow2.items())
-        assert self._counts is not None
+        require(self._counts is not None, "histogram bounds set but counts missing")
         out: List[Tuple[float, int]] = []
         for i, c in enumerate(self._counts):
             if c:
@@ -179,7 +180,10 @@ class Histogram(Metric):
         min/max."""
         if self.count == 0:
             return None
-        assert self.min is not None and self.max is not None
+        require(
+            self.min is not None and self.max is not None,
+            "histogram has samples but no min/max",
+        )
         target = (q / 100.0) * self.count
         cum = 0
         for upper, c in self.buckets():

@@ -13,6 +13,7 @@ import errno
 from typing import Dict, List, Optional, Tuple
 
 from repro.core.messages import PageFrame
+from repro.check.errors import require
 from repro.device.clock import SimClock
 from repro.model.costs import CostModel
 from repro.vfs.dcache import DentryCache
@@ -555,7 +556,7 @@ class VFS:
                 cached = self.pages.lookup(path, idx + i)
             if i == 0:
                 page = cached
-        assert page is not None
+        require(page is not None, "readahead populated no page for the requested index")
         return page
 
     # ==================================================================

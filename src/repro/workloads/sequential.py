@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+from repro.check.errors import require
 from repro.workloads.scale import WorkloadScale
 
 PAGE = 4096
@@ -40,7 +41,7 @@ def seq_read(mount, scale: WorkloadScale, chunk: int = 1 * MIB) -> float:
     while pos < scale.seq_bytes:
         n = min(chunk, scale.seq_bytes - pos)
         got = vfs.read("/seqfile", pos, n)
-        assert len(got) == n
+        require(len(got) == n, f"short read at {pos}: wanted {n}, got {len(got)}")
         pos += n
     elapsed = mount.clock.now - start
     return (scale.seq_bytes / 1e6) / elapsed

@@ -1,0 +1,3 @@
+"""Half of the import-cycle fixture."""
+
+import fixpkg.cyc_b  # noqa: F401

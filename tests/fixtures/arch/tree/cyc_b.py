@@ -1,0 +1,3 @@
+"""Other half of the import-cycle fixture."""
+
+import fixpkg.cyc_a  # noqa: F401

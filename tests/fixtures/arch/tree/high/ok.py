@@ -1,0 +1,3 @@
+"""High layer importing downward: legal."""
+
+import fixpkg.low.base  # noqa: F401

@@ -1,0 +1,3 @@
+"""Low layer importing upward: the layer-violation fixture."""
+
+import fixpkg.high.ok  # noqa: F401

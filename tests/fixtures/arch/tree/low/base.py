@@ -1,0 +1,3 @@
+"""Bottom of the fixture stack; imports nothing."""
+
+VALUE = 1

@@ -1,0 +1,3 @@
+"""Low layer importing upward, but with a justified waiver."""
+
+import fixpkg.high.ok  # noqa: F401  # arch: allow[fixture: sanctioned upward edge]

@@ -1,0 +1,3 @@
+"""Module in a package the manifest does not classify."""
+
+VALUE = 2

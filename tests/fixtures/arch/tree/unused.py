@@ -1,0 +1,3 @@
+"""Legal downward import carrying a waiver that suppresses nothing."""
+
+import fixpkg.low.base  # noqa: F401  # arch: allow[fixture: this waiver is dead]

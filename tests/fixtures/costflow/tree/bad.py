@@ -1,0 +1,11 @@
+"""Uncharged byte move: no charge locally, no charging caller."""
+
+from flowpkg.store import ExtentStore
+
+
+class Leaky:
+    def __init__(self, store: ExtentStore) -> None:
+        self.store = store
+
+    def drain(self) -> bytes:
+        return self.store.read(0, 4096)

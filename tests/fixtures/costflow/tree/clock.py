@@ -1,0 +1,9 @@
+"""Fixture stand-in for the simulated clock (matched by class name)."""
+
+
+class SimClock:
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def cpu(self, seconds: float) -> None:
+        self.now += seconds

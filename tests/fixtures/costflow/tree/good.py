@@ -1,0 +1,19 @@
+"""Covered byte moves: the helper is dominated by a charging caller."""
+
+from flowpkg.clock import SimClock
+from flowpkg.store import ExtentStore
+
+
+class Engine:
+    def __init__(self, clock: SimClock, store: ExtentStore) -> None:
+        self.clock = clock
+        self.store = store
+
+    def load(self, offset: int) -> bytes:
+        # Moves bytes without charging — legal, because every caller
+        # charges before delegating here.
+        return self.store.read(offset, 4096)
+
+    def fetch(self, offset: int) -> bytes:
+        self.clock.cpu(0.001)
+        return self.load(offset)

@@ -1,0 +1,9 @@
+"""Fixture stand-in for the extent store (matched by class name)."""
+
+
+class ExtentStore:
+    def read(self, offset: int, length: int) -> bytes:
+        return b"\x00" * length
+
+    def write(self, offset: int, data: bytes) -> None:
+        pass

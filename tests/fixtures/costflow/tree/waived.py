@@ -1,0 +1,11 @@
+"""Uncharged byte move carrying a justified waiver."""
+
+from flowpkg.store import ExtentStore
+
+
+class Offline:
+    def __init__(self, store: ExtentStore) -> None:
+        self.store = store
+
+    def probe(self) -> bytes:
+        return self.store.read(0, 512)  # costflow: allow[fixture: offline probe, no timeline]

@@ -1,0 +1,8 @@
+"""Fixture: assert statements are stripped by ``python -O``."""
+
+
+def reserve(nbytes: int) -> int:
+    assert nbytes > 0
+    total = nbytes * 2
+    assert total > nbytes, "overflow"
+    return total

@@ -3,9 +3,11 @@
 import pytest
 
 from repro.core.checkpoint import (
+    STAMP_SIZE,
     BlockManager,
     Superblock,
     frame_superblock,
+    read_slot_stamp,
     _trim,
 )
 
@@ -117,3 +119,65 @@ class TestSuperblock:
         blob = self.make().serialize()
         framed = frame_superblock(blob) + b"\x00" * 128  # slot padding
         assert _trim(framed) == blob
+
+
+class TestCompletionStamp:
+    """The tail stamp distinguishes torn writes from media corruption."""
+
+    def _framed(self, generation=5):
+        sb = Superblock()
+        sb.generation = generation
+        sb.root_ids = [1]
+        sb.block_tables = [BlockManager(MIB).serialize()]
+        return frame_superblock(sb.serialize())
+
+    def test_stamp_reads_back_generation_and_length(self):
+        framed = self._framed(generation=9)
+        stamp = read_slot_stamp(framed + b"\x00" * 256)
+        assert stamp is not None
+        generation, length = stamp
+        assert generation == 9
+        assert length == len(framed) - 4 - STAMP_SIZE
+
+    def test_trim_ignores_the_stamp(self):
+        sb = Superblock()
+        sb.generation = 4
+        blob = sb.serialize()
+        assert _trim(frame_superblock(blob) + b"\x00" * 64) == blob
+        assert Superblock.deserialize(_trim(frame_superblock(blob))).generation == 4
+
+    def test_payload_corruption_leaves_stamp_intact(self):
+        raw = bytearray(self._framed(generation=7) + b"\x00" * 256)
+        raw[20] ^= 0xFF  # flip inside the payload
+        assert Superblock.deserialize(_trim(bytes(raw))) is None
+        stamp = read_slot_stamp(bytes(raw))
+        assert stamp is not None and stamp[0] == 7
+
+    def test_damaged_length_prefix_falls_back_to_magic_scan(self):
+        raw = bytearray(self._framed(generation=7) + b"\x00" * 256)
+        raw[1] ^= 0xFF  # corrupt the length header itself
+        stamp = read_slot_stamp(bytes(raw))
+        assert stamp is not None and stamp[0] == 7
+
+    def test_torn_prefix_yields_no_stamp(self):
+        framed = self._framed(generation=7)
+        torn = framed[: len(framed) // 2]
+        torn += b"\x00" * (len(framed) - len(torn) + 256)
+        assert read_slot_stamp(torn) is None
+
+    def test_same_length_tear_surfaces_the_old_generation(self):
+        """A tear over a same-length previous frame leaves the *old*
+        stamp at the stamp position: it must read back as the old
+        generation, never as proof the new write completed."""
+        old = self._framed(generation=3)
+        new = self._framed(generation=5)
+        assert len(old) == len(new)
+        torn = new[:512] + old[512:] if len(new) > 512 else old
+        stamp = read_slot_stamp(torn + b"\x00" * 256)
+        assert stamp is not None
+        assert stamp[0] == 3
+
+    def test_empty_and_garbage_slots_have_no_stamp(self):
+        assert read_slot_stamp(b"") is None
+        assert read_slot_stamp(b"\x00" * 4096) is None
+        assert read_slot_stamp(b"junkjunkjunk") is None

@@ -21,7 +21,7 @@ from repro.crashmc import (
     save_repro,
     shrink_plan,
 )
-from repro.crashmc.explore import CLEAN, VIOLATION, _Stack
+from repro.crashmc.explore import CLEAN, DETECTED, VIOLATION, _Stack
 from repro.device.block import BlockDevice, CacheRecord, MediaError
 from repro.device.clock import SimClock
 from repro.model.profiles import COMMODITY_SSD
@@ -439,3 +439,66 @@ class TestExplorer:
         summary = json.loads(out)
         assert summary["cases"] == 8
         assert summary["violations"] == 0
+
+
+class TestSuperblockMediaFault:
+    """Satellite regression: a flipped byte in the newest superblock
+    slot must surface as DETECTED (fsck reports the valid-but-stale
+    fallback) — never as a silent fallback to the older checkpoint."""
+
+    def _stack_with_two_checkpoints(self):
+        stack = _Stack()
+        oracle = Oracle()
+        ops = [
+            Op("insert", META, b"alpha", b"one"),
+            Op("checkpoint"),
+            Op("insert", META, b"beta", b"two"),
+            Op("checkpoint"),
+        ]
+        for op in ops:
+            oracle.begin(op)
+            stack.apply(op)
+            oracle.commit(op)
+        return stack, oracle
+
+    def _newest_slot_base(self, stack):
+        from repro.core.checkpoint import Superblock, _trim
+
+        image = stack.device.crash_image()
+        slot_size = Superblock.SLOT_SIZE
+        best = None
+        for idx in (0, 1):
+            raw = image.store.read(idx * slot_size, slot_size)
+            decoded = Superblock.deserialize(_trim(raw))
+            if decoded is not None and (
+                best is None or decoded.generation > best[1]
+            ):
+                best = (idx * slot_size, decoded.generation)
+        assert best is not None, "no decodable superblock slot"
+        return best[0]
+
+    def test_flip_in_newest_slot_is_detected(self):
+        stack, oracle = self._stack_with_two_checkpoints()
+        base = self._newest_slot_base(stack)
+        plan = CrashPlan(bitflips=((base + 20, 0x01),))
+        assert plan.is_media_fault
+        result = run_case(stack, oracle, plan)
+        assert result.status == DETECTED, (result.status, result.detail)
+        assert result.stage == "fsck"
+        assert "valid-but-stale" in result.detail
+
+    def test_media_sweep_covers_the_superblock_region(self):
+        """The sweep regions start at offset 0 now: a seeded run must
+        be able to place a fault below log_base."""
+        from repro.storage.sfl import SUPERBLOCK_SIZE
+
+        rng = random.Random(0)
+        plans = media_plans(
+            [(0, SUPERBLOCK_SIZE)], sector=4096, rng=rng, count=8
+        )
+        assert plans
+        for plan in plans:
+            for off, _mask in plan.bitflips:
+                assert 0 <= off < SUPERBLOCK_SIZE
+            for sector in plan.bad_sectors:
+                assert 0 <= sector * 4096 < SUPERBLOCK_SIZE

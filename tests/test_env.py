@@ -129,12 +129,21 @@ class TestCheckpointRecovery:
         env.checkpoint()
         env.insert(META, b"k", b"gen2")
         env.checkpoint()
-        # Corrupt the most recent superblock slot.
-        from repro.core.checkpoint import Superblock
+        # Tear the most recent superblock slot: a crash mid-write loses
+        # the tail of the frame (payload CRC *and* completion stamp), so
+        # recovery falls back to the older slot without an fsck error.
+        import struct
+
+        from repro.core.checkpoint import STAMP_SIZE, Superblock
 
         slot = env._sb_generation % 2
         base = LAYOUT.file_base("superblock") + slot * Superblock.SLOT_SIZE
-        device.store.write(base + 100, b"\xde\xad")  # inside the live slot
+        raw = bytearray(device.store.read(base, 4096))
+        (length,) = struct.unpack_from("<I", raw, 0)
+        frame_end = 4 + length + STAMP_SIZE
+        keep = 4 + length // 2
+        raw[keep:frame_end] = b"\x00" * (frame_end - keep)
+        device.store.write(base, bytes(raw))
         env2 = reopen(device)
         # Falls back to the previous checkpoint; log replay reapplies.
         assert env2.get(META, b"k") in (b"gen1", b"gen2")
