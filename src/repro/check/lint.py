@@ -7,8 +7,9 @@ test suite cannot see:
 
 * ``wall-clock`` — no ``time.time()`` / ``time.monotonic()`` /
   ``datetime.now()`` etc.  Simulated components must read
-  :class:`~repro.device.clock.SimClock`; the only tolerated wall-clock
-  is the harness CLI's wall-time banner (explicit allowlist).
+  :class:`~repro.device.clock.SimClock`; real elapsed time (the
+  harness banner, the bench suite, dual-clock spans) must go through
+  :mod:`repro.obs.prof`, the one allowlisted wall-clock provider.
 * ``unseeded-random`` — no module-level ``random.*`` calls (global,
   process-wide RNG state).  Seeded ``random.Random(seed)`` instances
   are fine: they are deterministic and local.
@@ -138,11 +139,13 @@ _STORE_IO_METHODS = {"read", "write", "discard"}
 _DEVICE_LAYER_PREFIXES = ("device/", "storage/", "baselines/", "check/", "crashmc/")
 _DEVICE_LAYER_FILES = {"workloads/aging.py", "harness/ftl.py"}
 
-#: (relpath, rule) pairs tolerated in the repo.  The harness CLI's
-#: wall-time banner is the single sanctioned wall-clock user — the lint
-#: self-test in tests/test_check.py asserts it stays the only one.
+#: (relpath, rule) pairs tolerated in the repo.  repro.obs.prof is the
+#: single sanctioned wall-clock module — every wall-time consumer (the
+#: harness banner, bench, dual-clock spans) derives from its one
+#: ``perf_counter_ns`` read — and the lint self-test in
+#: tests/test_check.py asserts it stays the only one.
 DEFAULT_ALLOWLIST: Set[Tuple[str, str]] = {
-    ("harness/__main__.py", "wall-clock"),
+    ("obs/prof.py", "wall-clock"),
 }
 
 

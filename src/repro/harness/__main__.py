@@ -13,11 +13,11 @@ import argparse
 import json
 import os
 import sys
-import time
 
 from repro.harness.figures import FIGURES, render_figures, run_figures
 from repro.harness.paperdata import PAPER_TABLE3
 from repro.obs import Observability, session
+from repro.obs.prof import Stopwatch
 from repro.harness.report import render_experiments_md, write_results_json
 from repro.harness.runner import (
     FIG2_SYSTEMS,
@@ -39,15 +39,17 @@ def main(argv=None) -> int:
         "target",
         choices=[
             "table1", "table3", "fig2", "hdd", "all", "stats", "ftl",
-            "fsck", "torture",
+            "fsck", "torture", "bench",
         ],
         help="which artifact to regenerate (hdd = the prior-work "
         "'compleat on an HDD' context for BetrFS v0.4; stats = run a "
-        "workload and print the per-layer observability tables; ftl = "
-        "age a tiny flash device and report WA / GC-pause / erase "
-        "telemetry; fsck = check a saved device image, see "
-        "repro.check.fsck; torture = systematic crash-state "
-        "exploration, see repro.crashmc)",
+        "workload and print the per-layer observability tables plus "
+        "the sim-vs-wall overhead map; ftl = age a tiny flash device "
+        "and report WA / GC-pause / erase telemetry; fsck = check a "
+        "saved device image, see repro.check.fsck; torture = "
+        "systematic crash-state exploration, see repro.crashmc; "
+        "bench = wall-clock benchmark suite emitting BENCH_*.json, "
+        "see repro.harness.bench)",
     )
     parser.add_argument(
         "image",
@@ -111,9 +113,51 @@ def main(argv=None) -> int:
         help="where the torture target writes the shrunk repro file "
         "if a violation is found (default: crashmc-repro.json)",
     )
+    parser.add_argument(
+        "--reps",
+        type=int,
+        default=3,
+        help="timed repetitions per workload for the bench target",
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="bench: diff against the committed benchmarks/baseline.json "
+        "and exit non-zero on regression (the CI perf gate)",
+    )
+    parser.add_argument(
+        "--bless",
+        action="store_true",
+        help="bench: rewrite the baseline's section for this scale from "
+        "this run (see DESIGN.md for the re-bless policy)",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=None,
+        metavar="BASELINE_JSON",
+        help="bench: baseline file (default: the committed "
+        "benchmarks/baseline.json)",
+    )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="bench: run one extra profiled rep per workload and print "
+        "the per-layer wall-time attribution (repro.obs.prof); with "
+        "--out, also writes collapsed-stack PROF_*.folded files",
+    )
+    parser.add_argument(
+        "--workloads",
+        nargs="*",
+        default=None,
+        help="bench: subset of bench workloads to run",
+    )
     parser.add_argument("--quiet", action="store_true")
     args = parser.parse_args(argv)
 
+    if args.target == "bench":
+        if args.image is not None:
+            parser.error("an image argument is only valid for the fsck target")
+        return _run_bench(args)
     if args.target == "fsck":
         return _run_fsck(args.image, verbose=not args.quiet)
     if args.target == "torture":
@@ -131,11 +175,19 @@ def main(argv=None) -> int:
 
     scale = DEFAULT_SCALE if args.scale == "default" else SMOKE_SCALE
     verbose = not args.quiet
-    t0 = time.time()
+    # Monotonic wall timer via the sanctioned provider — time.time()
+    # can step backwards across clock adjustments.
+    watch = Stopwatch()
     tables = {}
     figures = {}
 
-    obs = Observability(tracing=args.trace_out is not None)
+    # The stats target always records dual-clock spans so it can print
+    # the per-layer sim-vs-wall overhead map alongside the stats table.
+    wall_profiling = args.target == "stats"
+    obs = Observability(
+        tracing=args.trace_out is not None or wall_profiling,
+        wall=wall_profiling,
+    )
     with session(obs):
         if args.target in ("table1", "table3", "all"):
             systems = args.systems or (
@@ -175,6 +227,8 @@ def main(argv=None) -> int:
                 verbose=verbose,
             )
             print(obs.render_stats())
+            print()
+            print(obs.render_overhead())
 
     if args.metrics_out:
         obs.write_metrics(args.metrics_out)
@@ -192,7 +246,79 @@ def main(argv=None) -> int:
             with open(os.path.join(args.out, "EXPERIMENTS.md"), "w") as fh:
                 fh.write(render_experiments_md(tables, figures, scale.name))
         print(f"results written to {args.out}/")
-    print(f"total wall time: {time.time() - t0:.1f}s", file=sys.stderr)
+    print(f"total wall time: {watch.elapsed:.1f}s", file=sys.stderr)
+    return 0
+
+
+def _run_bench(args) -> int:
+    """``python -m repro.harness bench [--check] [--bless] [--out DIR]``.
+
+    Runs the deterministic benchmark suite (see
+    :mod:`repro.harness.bench`), prints the schema-versioned summary
+    JSON on stdout, optionally writes ``BENCH_<scale>.json`` under
+    ``--out``, and with ``--check`` diffs against the committed
+    baseline — exit 1 on regression.
+    """
+    from repro.harness.bench import (
+        bless_baseline,
+        check_against_baseline,
+        load_baseline,
+        profile_workloads,
+        run_bench,
+        scale_by_name,
+        to_json,
+        write_artifact,
+    )
+
+    scale = scale_by_name(args.scale)
+    verbose = not args.quiet
+    if verbose:
+        print(
+            f"bench: scale={scale.name} reps={args.reps} "
+            f"workloads={args.workloads or 'all'}",
+            file=sys.stderr,
+        )
+    summary = run_bench(
+        scale=scale,
+        reps=args.reps,
+        workloads=args.workloads,
+        verbose=verbose,
+    )
+    print(to_json(summary), end="")
+    if args.out:
+        path = write_artifact(summary, args.out)
+        print(f"bench artifact written to {path}", file=sys.stderr)
+    if args.profile:
+        for name, prof in profile_workloads(scale, args.workloads).items():
+            print(f"\n--- {name} ---\n{prof.render()}", file=sys.stderr)
+            if args.out:
+                folded = os.path.join(args.out, f"PROF_{scale.name}_{name}.folded")
+                with open(folded, "w", encoding="utf-8") as fh:
+                    fh.write(prof.collapsed())
+                print(f"collapsed stacks written to {folded}", file=sys.stderr)
+    if args.bless:
+        path = bless_baseline(summary, args.baseline)
+        print(f"baseline blessed at {path}", file=sys.stderr)
+    if args.check:
+        try:
+            baseline = load_baseline(args.baseline)
+        except FileNotFoundError:
+            print(
+                "bench --check: no committed baseline found — run "
+                "`python -m repro.harness bench --bless` first",
+                file=sys.stderr,
+            )
+            return 2
+        failures = check_against_baseline(summary, baseline)
+        for failure in failures:
+            print(f"PERF REGRESSION: {failure}", file=sys.stderr)
+        if failures:
+            return 1
+        print(
+            f"bench --check: {len(summary['workloads'])} workload(s) "
+            "within baseline tolerances",
+            file=sys.stderr,
+        )
     return 0
 
 

@@ -34,18 +34,27 @@ from typing import Any, Dict, List, Optional
 
 from repro.device.clock import SimClock
 from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
-from repro.obs.report import render_scope
+from repro.obs.prof import Stopwatch, WallProfiler, wall_ns, wall_s
+from repro.obs.report import render_overhead, render_scope
 from repro.obs.trace import NULL_TRACER, NullTracer, SpanTracer
 
 __all__ = [
     "Counter", "Gauge", "Histogram", "MetricsRegistry",
     "MountScope", "Observability", "current", "session",
     "NullTracer", "SpanTracer", "NULL_TRACER",
+    "Stopwatch", "WallProfiler", "wall_ns", "wall_s",
 ]
 
 
 class MountScope:
-    """Observability context for one mounted file system."""
+    """Observability context for one mounted file system.
+
+    ``wall=True`` (implies tracing) makes the span tracer dual-clock:
+    every span also records elapsed wall nanoseconds via
+    :func:`repro.obs.prof.wall_ns`, enabling the per-layer sim-vs-wall
+    overhead map.  Wall stamps are observation-only — simulated state
+    and timing are bit-identical either way.
+    """
 
     def __init__(
         self,
@@ -53,12 +62,16 @@ class MountScope:
         clock: SimClock,
         tracing: bool = False,
         pid: int = 0,
+        wall: bool = False,
     ) -> None:
         self.name = name
         self.clock = clock
         self.pid = pid
         self.registry = MetricsRegistry()
-        self.tracer = SpanTracer(clock) if tracing else NULL_TRACER
+        if tracing or wall:
+            self.tracer = SpanTracer(clock, wall_clock=wall_ns if wall else None)
+        else:
+            self.tracer = NULL_TRACER
 
     # Convenience passthroughs used by instrumented components.
     def latency(self, name: str, layer: str = "", **labels: str) -> Histogram:
@@ -80,14 +93,22 @@ class MountScope:
 
 
 class Observability:
-    """A collection session: one scope per mount created under it."""
+    """A collection session: one scope per mount created under it.
 
-    def __init__(self, tracing: bool = False) -> None:
-        self.tracing = tracing
+    ``wall=True`` turns on dual-clock spans (simulated + wall time per
+    span) for every mount in the session; see :class:`MountScope`.
+    """
+
+    def __init__(self, tracing: bool = False, wall: bool = False) -> None:
+        self.tracing = tracing or wall
+        self.wall = wall
         self.scopes: List[MountScope] = []
 
     def mount(self, name: str, clock: SimClock) -> MountScope:
-        scope = MountScope(name, clock, tracing=self.tracing, pid=len(self.scopes))
+        scope = MountScope(
+            name, clock, tracing=self.tracing, pid=len(self.scopes),
+            wall=self.wall,
+        )
         self.scopes.append(scope)
         return scope
 
@@ -139,6 +160,10 @@ class Observability:
 
     def render_stats(self) -> str:
         return "\n\n".join(scope.render_stats() for scope in self.scopes)
+
+    def render_overhead(self) -> str:
+        """Per-layer sim-vs-wall overhead map, one table per mount."""
+        return "\n\n".join(render_overhead(scope) for scope in self.scopes)
 
     def write_metrics(self, path: str) -> None:
         _ensure_parent(path)

@@ -1,0 +1,13 @@
+"""Lint fixture: a stray ``perf_counter`` outside ``repro.obs.prof``
+must still trip the ``wall-clock`` rule (both spellings)."""
+
+import time
+from time import perf_counter_ns
+
+
+def stamp():
+    return time.perf_counter()
+
+
+def stamp_ns():
+    return perf_counter_ns()

@@ -1,0 +1,271 @@
+"""Tests for the wall-clock bench harness and its CI perf gate.
+
+Covers the PR's acceptance criteria: schema-versioned summaries, two
+same-seed runs byte-identical once volatile (wall/memory) fields are
+stripped, ``--check`` passing against a self-blessed baseline and
+failing cleanly against a synthetically inflated one, and the
+layer-attribution profiler.
+"""
+
+import copy
+import json
+import os
+import re
+
+import pytest
+
+from repro.harness import bench
+from repro.harness.bench import (
+    BENCH_WORKLOADS,
+    SCHEMA,
+    bless_baseline,
+    check_against_baseline,
+    load_baseline,
+    run_bench,
+    strip_volatile,
+    to_json,
+)
+from repro.obs.prof import WallProfiler, layer_of_file, module_of_file, wall_ns
+from repro.workloads.scale import SMOKE_SCALE
+
+#: Cheapest two workloads; reps=1 and no memory rep keep tests fast.
+FAST = dict(scale=SMOKE_SCALE, reps=1, memory=False, workloads=["mailserver"])
+
+
+@pytest.fixture(scope="module")
+def summary():
+    """One shared fast bench run (module-scoped: runs are ~100 ms)."""
+    return run_bench(**FAST)
+
+
+# ======================================================================
+# Summary shape + determinism
+# ======================================================================
+class TestBenchSummary:
+    def test_schema_and_fields(self, summary):
+        assert summary["schema"] == SCHEMA
+        assert summary["scale"] == "smoke"
+        entry = summary["workloads"]["mailserver"]
+        assert entry["ops"] == SMOKE_SCALE.mail_ops
+        assert entry["simulated_seconds"] > 0
+        assert entry["wall_seconds"]["min"] <= entry["wall_seconds"]["median"]
+        assert len(entry["wall_seconds"]["all"]) == 1
+        assert entry["ops_per_wall_second"] > 0
+        assert entry["ops_per_sim_second"] > 0
+        assert entry["sim_deterministic"] is True
+
+    def test_memory_rep_reports_peak(self):
+        out = run_bench(
+            scale=SMOKE_SCALE, reps=1, memory=True, workloads=["mailserver"]
+        )
+        peak = out["workloads"]["mailserver"]["peak_mem_bytes"]
+        assert peak > 100_000  # a real workload allocates real memory
+
+    def test_two_runs_byte_identical_after_strip(self, summary):
+        """Satellite: same seed, same bytes — the deterministic core of
+        the summary cannot depend on wall time or ambient state."""
+        again = run_bench(**FAST)
+        assert to_json(strip_volatile(summary)) == to_json(strip_volatile(again))
+        # ... and stripping removed every volatile field.
+        stripped = json.loads(to_json(strip_volatile(summary)))
+        entry = stripped["workloads"]["mailserver"]
+        assert "wall_seconds" not in entry
+        assert "ops_per_wall_second" not in entry
+        assert "peak_mem_bytes" not in entry
+        assert entry["simulated_seconds"] > 0
+
+    def test_multi_rep_sim_is_deterministic(self):
+        out = run_bench(
+            scale=SMOKE_SCALE, reps=2, memory=False, workloads=["mailserver"]
+        )
+        entry = out["workloads"]["mailserver"]
+        assert entry["sim_deterministic"] is True
+        assert len(entry["wall_seconds"]["all"]) == 2
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(KeyError):
+            run_bench(scale=SMOKE_SCALE, reps=1, workloads=["nope"])
+
+    def test_workload_registry_names(self):
+        names = {wl.name for wl in BENCH_WORKLOADS}
+        assert names == {"tokubench", "mailserver", "fig2a_tar"}
+
+
+# ======================================================================
+# Baseline gate
+# ======================================================================
+class TestBaselineGate:
+    def test_self_blessed_baseline_passes(self, summary, tmp_path):
+        path = str(tmp_path / "baseline.json")
+        bless_baseline(summary, path)
+        assert check_against_baseline(summary, load_baseline(path)) == []
+
+    def test_inflated_baseline_fails_cleanly(self, summary, tmp_path):
+        """Satellite: a baseline claiming the suite used to run a
+        million times faster (and leaner) must trip the gate."""
+        path = str(tmp_path / "baseline.json")
+        bless_baseline(summary, path)
+        baseline = load_baseline(path)
+        blessed = baseline["scales"]["smoke"]["workloads"]["mailserver"]
+        blessed["wall_seconds_median"] /= 1e6
+        blessed["peak_mem_bytes"] = 1
+        failures = check_against_baseline(summary, baseline)
+        assert any("wall regression" in f for f in failures)
+        # No memory field in this summary (memory=False) — no mem check.
+        assert not any("peak-memory" in f for f in failures)
+
+    def test_memory_regression_detected(self, tmp_path):
+        out = run_bench(
+            scale=SMOKE_SCALE, reps=1, memory=True, workloads=["mailserver"]
+        )
+        path = str(tmp_path / "baseline.json")
+        bless_baseline(out, path)
+        baseline = load_baseline(path)
+        baseline["scales"]["smoke"]["workloads"]["mailserver"][
+            "peak_mem_bytes"
+        ] = 1
+        failures = check_against_baseline(out, baseline)
+        assert any("peak-memory regression" in f for f in failures)
+
+    def test_sim_drift_detected(self, summary, tmp_path):
+        path = str(tmp_path / "baseline.json")
+        bless_baseline(summary, path)
+        baseline = load_baseline(path)
+        baseline["scales"]["smoke"]["workloads"]["mailserver"][
+            "simulated_seconds"
+        ] *= 1.01
+        failures = check_against_baseline(summary, baseline)
+        assert any("simulated-time drift" in f for f in failures)
+
+    def test_ops_mismatch_detected(self, summary, tmp_path):
+        path = str(tmp_path / "baseline.json")
+        bless_baseline(summary, path)
+        baseline = load_baseline(path)
+        baseline["scales"]["smoke"]["workloads"]["mailserver"]["ops"] += 1
+        failures = check_against_baseline(summary, baseline)
+        assert any("op count" in f for f in failures)
+
+    def test_missing_scale_section_reported(self, summary):
+        failures = check_against_baseline(
+            summary, {"schema": dict(SCHEMA), "scales": {}}
+        )
+        assert len(failures) == 1
+        assert "no section for scale" in failures[0]
+
+    def test_workload_set_drift_reported(self, summary, tmp_path):
+        path = str(tmp_path / "baseline.json")
+        bless_baseline(summary, path)
+        baseline = load_baseline(path)
+        baseline["scales"]["smoke"]["workloads"]["ghost"] = copy.deepcopy(
+            baseline["scales"]["smoke"]["workloads"]["mailserver"]
+        )
+        failures = check_against_baseline(summary, baseline)
+        assert any("missing from this run" in f for f in failures)
+
+    def test_per_workload_tolerance_overrides_default(self, summary, tmp_path):
+        path = str(tmp_path / "baseline.json")
+        bless_baseline(summary, path)
+        baseline = load_baseline(path)
+        blessed = baseline["scales"]["smoke"]["workloads"]["mailserver"]
+        blessed["wall_seconds_median"] /= 10.0  # 10x over default budget
+        baseline["tolerances"]["mailserver"] = {"wall_ratio": 1e9}
+        assert check_against_baseline(summary, baseline) == []
+
+    def test_committed_baseline_is_valid_and_covers_smoke(self):
+        """The repo's committed baseline must parse, carry the current
+        schema, and gate every bench workload at the CI (smoke) scale."""
+        baseline = load_baseline()
+        assert baseline["schema"] == SCHEMA
+        smoke = baseline["scales"]["smoke"]["workloads"]
+        assert set(smoke) == {wl.name for wl in BENCH_WORKLOADS}
+        for entry in smoke.values():
+            assert entry["wall_seconds_median"] > 0
+            assert entry["simulated_seconds"] > 0
+
+    def test_cli_check_exits_nonzero_on_inflated_baseline(self, tmp_path, capsys):
+        """End-to-end: the perf gate's exit-code contract."""
+        from repro.harness.__main__ import main
+
+        out = run_bench(
+            scale=SMOKE_SCALE, reps=1, memory=True, workloads=["mailserver"]
+        )
+        path = str(tmp_path / "baseline.json")
+        bless_baseline(out, path)
+        baseline = load_baseline(path)
+        baseline["scales"]["smoke"]["workloads"]["mailserver"][
+            "wall_seconds_median"
+        ] /= 1e6
+        with open(path, "w") as fh:
+            fh.write(to_json(baseline))
+        rc = main(
+            [
+                "bench", "--scale", "smoke", "--reps", "1", "--quiet",
+                "--workloads", "mailserver", "--check", "--baseline", path,
+            ]
+        )
+        captured = capsys.readouterr()
+        assert rc == 1
+        assert "PERF REGRESSION" in captured.err
+
+    def test_cli_emits_artifact(self, tmp_path, capsys):
+        from repro.harness.__main__ import main
+
+        rc = main(
+            [
+                "bench", "--scale", "smoke", "--reps", "1", "--quiet",
+                "--workloads", "mailserver", "--out", str(tmp_path),
+            ]
+        )
+        capsys.readouterr()
+        assert rc == 0
+        path = tmp_path / "BENCH_smoke.json"
+        assert path.exists()
+        artifact = json.loads(path.read_text())
+        assert artifact["schema"] == SCHEMA
+        assert "mailserver" in artifact["workloads"]
+
+
+# ======================================================================
+# Profiler layer attribution
+# ======================================================================
+class TestWallProfiler:
+    def test_layer_of_file_maps_package_paths(self):
+        root = os.path.dirname(bench.__file__)  # src/repro/harness
+        pkg = os.path.dirname(root)  # src/repro
+        assert layer_of_file(os.path.join(pkg, "core", "tree.py")) == "core"
+        assert layer_of_file(os.path.join(pkg, "device", "block.py")) == "device"
+        assert layer_of_file(os.path.join(pkg, "check", "errors.py")) == "errors"
+        assert layer_of_file(os.path.join(pkg, "obs", "prof.py")) == "obs"
+        assert layer_of_file("~") == "(builtin)"
+        assert layer_of_file("/usr/lib/python3/json/__init__.py") == "(other)"
+        assert module_of_file(os.path.join(pkg, "core", "tree.py")) == (
+            "repro.core.tree"
+        )
+
+    def test_profile_attributes_wall_time_to_layers(self):
+        prof = WallProfiler()
+        with prof:
+            run_bench(**FAST)
+        table = {row["layer"]: row for row in prof.layer_table()}
+        # A real workload must show self time in the simulated stack.
+        assert "core" in table and table["core"]["tottime"] > 0
+        assert "vfs" in table
+        assert table["core"]["calls"] > 100
+        top = prof.top_functions(5)
+        assert len(top) == 5
+        assert top[0]["tottime"] >= top[-1]["tottime"]
+
+    def test_collapsed_stack_format(self):
+        prof = WallProfiler()
+        with prof:
+            run_bench(**FAST)
+        lines = prof.collapsed().splitlines()
+        assert lines
+        pat = re.compile(r"^[^;]+;[^;]+;.+ \d+$")
+        for line in lines:
+            assert pat.match(line), line
+
+    def test_wall_ns_is_monotonic(self):
+        a = wall_ns()
+        b = wall_ns()
+        assert b >= a

@@ -31,21 +31,22 @@ class TestLint:
     def test_repo_is_clean(self):
         assert lint.lint_repo() == []
 
-    def test_harness_wallclock_is_the_only_allowlisted_finding(self):
-        """Satellite: harness/__main__.py's wall-time banner is the ONE
-        sanctioned wall-clock user in the whole package."""
+    def test_prof_wallclock_is_the_only_allowlisted_finding(self):
+        """Satellite: repro.obs.prof's single perf_counter_ns read is
+        the ONE sanctioned wall-clock use in the whole package — the
+        harness banner, bench, and dual-clock spans all derive from it."""
         found = lint.lint_repo(use_allowlist=False)
-        assert len(found) == 2, [v.render() for v in found]
-        for violation in found:
-            assert violation.rule == "wall-clock"
-            assert violation.path.replace(os.sep, "/").endswith(
-                "harness/__main__.py"
-            )
+        assert len(found) == 1, [v.render() for v in found]
+        [violation] = found
+        assert violation.rule == "wall-clock"
+        assert violation.path.replace(os.sep, "/").endswith("obs/prof.py")
+        assert lint.DEFAULT_ALLOWLIST == {("obs/prof.py", "wall-clock")}
 
     @pytest.mark.parametrize(
         "fixture,rule",
         [
             ("bad_wall_clock.py", "wall-clock"),
+            ("bad_perf_counter.py", "wall-clock"),
             ("bad_unseeded_random.py", "unseeded-random"),
             ("bad_dict_order.py", "dict-order"),
             ("bad_str_key.py", "str-key"),

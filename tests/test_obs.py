@@ -213,3 +213,155 @@ def test_scope_stats_render():
     text = scope.render_stats()
     assert "vfs.read_latency" in text
     assert "m" in text
+
+
+# ----------------------------------------------------------------------
+# Dual-clock spans + overhead map (PR 6)
+# ----------------------------------------------------------------------
+def _fake_wall():
+    """Deterministic wall-clock stub: +1000 ns per read."""
+    state = {"t": 0}
+
+    def read():
+        state["t"] += 1000
+        return state["t"]
+
+    return read
+
+
+def test_dual_clock_spans_record_wall_ns():
+    clock = SimClock()
+    tracer = SpanTracer(clock, wall_clock=_fake_wall())
+    outer = tracer.begin("vfs.write", "vfs")
+    clock.cpu(0.001)
+    inner = tracer.begin("tree.flush", "tree")
+    clock.cpu(0.002)
+    tracer.end(inner)
+    tracer.end(outer)
+    inner_s, outer_s = tracer.spans
+    # Fake clock: begin/end reads are 1000 ns apart per intervening read.
+    assert inner_s.wall_ns == 1000
+    assert outer_s.wall_ns == 3000
+    # The parent accumulated its child's totals on both clocks.
+    assert outer_s.child_wall == inner_s.wall_ns
+    assert math.isclose(outer_s.child_sim, inner_s.duration)
+    # Chrome export carries the wall duration alongside sim time.
+    args = {e["name"]: e["args"] for e in tracer.chrome_events()}
+    assert args["vfs.write"]["wall_us"] == 3.0
+
+
+def test_spans_without_wall_clock_have_no_wall_fields():
+    clock = SimClock()
+    tracer = SpanTracer(clock)
+    with tracer.span("op", "vfs"):
+        clock.cpu(0.001)
+    [span] = tracer.spans
+    assert span.wall_ns == -1
+    args = [e["args"] for e in tracer.chrome_events()]
+    assert "wall_us" not in args[0]
+
+
+def test_overhead_rows_partition_self_time_by_layer():
+    from repro.obs.report import overhead_rows
+
+    clock = SimClock()
+    tracer = SpanTracer(clock, wall_clock=_fake_wall())
+    for _ in range(3):
+        with tracer.span("vfs.write", "vfs"):
+            clock.cpu(0.010)
+            with tracer.span("tree.flush", "tree"):
+                clock.cpu(0.020)
+    rows = {r["layer"]: r for r in overhead_rows(tracer)}
+    assert set(rows) == {"vfs", "tree"}
+    assert rows["vfs"]["spans"] == 3 and rows["tree"]["spans"] == 3
+    # Self sim time: parent excludes the nested child's 20 ms.
+    assert math.isclose(rows["vfs"]["sim_self_s"], 0.030, abs_tol=1e-9)
+    assert math.isclose(rows["tree"]["sim_self_s"], 0.060, abs_tol=1e-9)
+    # Wall self time partitions the same way on the fake clock.
+    assert rows["vfs"]["wall_self_s"] > 0
+    assert rows["tree"]["wall_self_s"] > 0
+    assert rows["vfs"]["wall_per_sim"] is not None
+
+
+def test_overhead_map_renders_for_wall_session():
+    obs = Observability(wall=True)
+    with session(obs):
+        mount = make_mount("BetrFS v0.6", SMOKE_SCALE)
+        mount.vfs.create("/f")
+        mount.vfs.write("/f", 0, b"x" * 65536)
+        mount.vfs.sync()
+    assert obs.tracing  # wall implies tracing
+    text = obs.render_overhead()
+    assert "sim-vs-wall overhead map" in text
+    assert "vfs" in text
+    assert "total" in text
+    # Spans carry real wall stamps under a wall session.
+    tracer = obs.scopes[0].tracer
+    assert any(s.wall_ns >= 0 for s in tracer.spans)
+
+
+def test_overhead_map_empty_without_dual_clock():
+    scope = MountScope("m", SimClock())
+    from repro.obs.report import render_overhead
+
+    assert "no dual-clock spans" in render_overhead(scope)
+
+
+# ----------------------------------------------------------------------
+# Purity: profiling and dual-clock observation change nothing simulated
+# ----------------------------------------------------------------------
+def _device_state_hash(mount):
+    import hashlib
+
+    h = hashlib.sha256()
+    for off, data in mount.device.store.snapshot():
+        h.update(off.to_bytes(8, "little"))
+        h.update(data)
+    return h.hexdigest()
+
+
+def _observed_workload(wall: bool, profile: bool):
+    """tokubench under (optional) dual-clock tracing and profiling."""
+    from repro.obs.prof import WallProfiler
+    from repro.workloads.tokubench import tokubench
+
+    def run():
+        mount = make_mount("BetrFS v0.6", SMOKE_SCALE)
+        tokubench(mount, SMOKE_SCALE)
+        mount.sync()
+        return mount
+
+    if profile:
+        prof = WallProfiler()
+        with prof:
+            if wall:
+                with session(Observability(wall=True)):
+                    mount = run()
+            else:
+                mount = run()
+        assert prof.layer_table()  # captured something
+    elif wall:
+        with session(Observability(wall=True)):
+            mount = run()
+    else:
+        mount = run()
+    return _device_state_hash(mount), mount.clock.now
+
+
+def test_dual_clock_spans_are_pure_observers():
+    """Acceptance: wall-profiled spans change neither device bytes nor
+    simulated time."""
+    base_hash, base_now = _observed_workload(wall=False, profile=False)
+    wall_hash, wall_now = _observed_workload(wall=True, profile=False)
+    assert base_hash == wall_hash
+    assert base_now == wall_now
+
+
+def test_cprofile_capture_is_a_pure_observer():
+    """Acceptance: cProfile capture changes neither device bytes nor
+    simulated time (wall time, sure — simulation, never)."""
+    base_hash, base_now = _observed_workload(wall=False, profile=False)
+    prof_hash, prof_now = _observed_workload(wall=False, profile=True)
+    both_hash, both_now = _observed_workload(wall=True, profile=True)
+    assert base_hash == prof_hash == both_hash
+    assert base_now == prof_now == both_now
