@@ -56,6 +56,7 @@ LAYER_MANIFEST: Tuple[Tuple[str, Tuple[str, ...]], ...] = (
     ("harness", ("repro.harness",)),
     ("workloads", ("repro.workloads",)),
     ("crashmc", ("repro.crashmc",)),
+    ("sched", ("repro.sched",)),
     ("checkers", ("repro.check",)),
     ("baselines", ("repro.baselines",)),
     ("betrfs", ("repro.betrfs",)),

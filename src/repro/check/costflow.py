@@ -70,6 +70,12 @@ SINK_METHODS: FrozenSet[Tuple[str, str]] = frozenset(
         ("BlockDevice", "discard"),
         ("FlashTranslationLayer", "host_write"),
         ("FlashTranslationLayer", "trim"),
+        # repro.sched blocking primitives: a session suspension passes
+        # simulated time to the session (the scheduler charges switches
+        # and accounts waits on the shared clock), so driving an
+        # operation through SessionContext reaches the clock.
+        ("SessionContext", "run"),
+        ("SessionContext", "acquire"),
     }
 )
 

@@ -42,6 +42,12 @@ class CacheInvariantError(InvariantError):
     eviction, aliased cache entries)."""
 
 
+class SchedInvariantError(InvariantError):
+    """Scheduler / session-lock discipline invariant violated
+    (re-entrant acquire, release by non-owner, suspension inside a
+    tree critical section, or an all-blocked session set)."""
+
+
 class FsckError(CheckError):
     """Offline fsck found structural damage in a crash image."""
 

@@ -93,6 +93,13 @@ class KVEnv:
 
             self.san = SanitizerSuite(self)
             self.san.install()
+        #: Blocking-point reporter installed by a scheduler for
+        #: multi-tenant runs (repro.sched); ``None`` on sequential runs.
+        self.block_signal = None
+        #: Depth of nested tree critical sections (flush/split).  The
+        #: scheduler asserts this is zero at every session suspension:
+        #: no session may observe a half-mutated tree.
+        self._critical_depth = 0
         self._next_node_id = 1
         self._next_msn = 1
         storage.create("superblock", 8 * MIB)
@@ -129,6 +136,20 @@ class KVEnv:
 
     def note_write(self) -> None:
         """Hook invoked by trees on every root ingestion."""
+
+    # ------------------------------------------------------------------
+    # Critical-section tracking (reentrancy audit for repro.sched)
+    # ------------------------------------------------------------------
+    def enter_critical(self) -> None:
+        self._critical_depth += 1
+
+    def exit_critical(self) -> None:
+        self._critical_depth -= 1
+
+    @property
+    def in_critical(self) -> bool:
+        """True while a tree flush/split is mid-mutation."""
+        return self._critical_depth > 0
 
     # ------------------------------------------------------------------
     # Logged mutating operations
@@ -211,6 +232,8 @@ class KVEnv:
     # ------------------------------------------------------------------
     def sync(self) -> None:
         """fsync semantics: everything appended so far becomes durable."""
+        if self.block_signal is not None:
+            self.block_signal.note("journal_commit")
         if self._elided_volatile:
             self.checkpoint()
         self.wal.flush(durable=True)

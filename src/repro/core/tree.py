@@ -319,13 +319,20 @@ class BeTree:
                 break  # nothing routable (single stuck message)
 
     def _flush_one_batch(self, node: InternalNode) -> None:
-        tracer = self._tracer
-        if tracer is not None and tracer.enabled:
-            with tracer.span("tree.flush_batch", "tree") as sp:
+        # Critical section (reentrancy audit, repro.sched): between the
+        # buffer drain and the child application/split the tree is
+        # inconsistent; no session switch may observe it.
+        self.env.enter_critical()
+        try:
+            tracer = self._tracer
+            if tracer is not None and tracer.enabled:
+                with tracer.span("tree.flush_batch", "tree") as sp:
+                    self._flush_one_batch_impl(node)
+                    sp.args["tree"] = self.file_name
+            else:
                 self._flush_one_batch_impl(node)
-                sp.args["tree"] = self.file_name
-        else:
-            self._flush_one_batch_impl(node)
+        finally:
+            self.env.exit_critical()
 
     def _flush_one_batch_impl(self, node: InternalNode) -> None:
         self.stats.flushes += 1
@@ -447,6 +454,13 @@ class BeTree:
     def _maybe_split_root_leaf(self, root: LeafNode) -> None:
         if root.nbytes() <= self.cfg.node_size or root.pair_count() <= 1:
             return
+        self.env.enter_critical()
+        try:
+            self._split_root_leaf(root)
+        finally:
+            self.env.exit_critical()
+
+    def _split_root_leaf(self, root: LeafNode) -> None:
         right, pivot = root.split(self.env.new_node_id())
         self.stats.leaf_splits += 1
         self.stats.root_splits += 1
@@ -463,6 +477,13 @@ class BeTree:
     def _maybe_split_root_internal(self, root: InternalNode) -> None:
         if len(root.children) <= self.cfg.fanout:
             return
+        self.env.enter_critical()
+        try:
+            self._split_root_internal(root)
+        finally:
+            self.env.exit_critical()
+
+    def _split_root_internal(self, root: InternalNode) -> None:
         right, pivot = root.split(self.env.new_node_id())
         right.mem_buf = self.alloc.alloc(max(4096, right.buffer_bytes))
         self.stats.internal_splits += 1
@@ -888,6 +909,9 @@ class BeTree:
     ) -> Node:
         if not self.blockman.contains(node_id):
             raise KeyError(f"node {node_id} has no on-disk extent")
+        signal = self.env.block_signal
+        if signal is not None:
+            signal.note("tree_io")
         off, ln = self.blockman.lookup(node_id)
         completion = self._prefetched.pop(node_id, None)
         if completion is not None:
@@ -1003,6 +1027,9 @@ class BeTree:
             (leaf.node_id, idx),
         )
         b_off, b_ln = stub.stub_extent
+        signal = self.env.block_signal
+        if signal is not None:
+            signal.note("tree_io")
         blob = self.storage.read(self.file_name, base_off + b_off, b_ln)
         self.clock.cpu(self.costs.checksum(b_ln))
         basement = decode_basement(blob, prefix, aligned=self.cfg.page_sharing)

@@ -274,7 +274,7 @@ class CrashExplorer:
         self,
         seed: int,
         budget: int,
-        workloads: Sequence[str] = ("tokubench", "mailserver"),
+        workloads: Sequence[str] = ("tokubench", "mailserver", "mailserver_mt"),
         exhaustive_k: int = 6,
         obs_clock: Optional[SimClock] = None,
     ) -> None:

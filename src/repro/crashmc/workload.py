@@ -115,9 +115,69 @@ def mailserver_kv(seed: int) -> List[Op]:
     return ops
 
 
+def mailserver_mt_kv(seed: int) -> List[Op]:
+    """Multi-tenant mailserver: four users' op streams interleaved by a
+    seeded lottery, mirroring what ``repro.sched`` produces at the KV
+    layer.  Each user works a private mailbox prefix and fsyncs its own
+    mark operations, so the begin/commit oracle sees per-session
+    durability points interleaved with *other* sessions' still-pending
+    mutations — exactly the window a crash must not smear across."""
+    policy = derive_rng(seed, "mailserver_mt/policy")
+    n_users = 4
+    rngs = [derive_rng(seed, "mailserver_mt/u%d" % sid) for sid in range(n_users)]
+    live: List[List[bytes]] = [[] for _ in range(n_users)]
+    uid = [0] * n_users
+    ops: List[Op] = []
+
+    def deliver(sid: int) -> None:
+        rng = rngs[sid]
+        key = b"u%d/inbox/%04d" % (sid, uid[sid])
+        uid[sid] += 1
+        live[sid].append(key)
+        ops.append(Op("insert", META, key, b"S=%d F=" % rng.randrange(9000)))
+        if rng.random() < 0.4:
+            ops.append(
+                Op("insert", DATA, key, PageFrame(bytes([uid[sid] % 251]) * 4096))
+            )
+
+    for sid in range(n_users):  # per-user mailbox setup
+        deliver(sid)
+        deliver(sid)
+    ops.append(Op("checkpoint"))
+
+    for step in range(100):
+        sid = policy.randrange(n_users)  # the lottery dispatch
+        rng = rngs[sid]
+        roll = rng.random()
+        if roll < 0.40 or not live[sid]:
+            deliver(sid)
+        elif roll < 0.65:  # mark: patch + this user's own fsync
+            key = live[sid][rng.randrange(len(live[sid]))]
+            ops.append(Op("patch", META, key, b"RS", offset=0))
+            if rng.random() < 0.5:
+                ops.append(Op("sync"))
+        elif roll < 0.85:  # move into the user's archive folder
+            old = live[sid].pop(rng.randrange(len(live[sid])))
+            new = b"u%d/mv/" % sid + old.rsplit(b"/", 1)[1]
+            live[sid].append(new)
+            ops.append(Op("insert", META, new, b"moved"))
+            ops.append(Op("delete", META, old))
+        else:  # delete
+            key = live[sid].pop(rng.randrange(len(live[sid])))
+            ops.append(Op("delete", META, key))
+        if step % 4 == 3:
+            ops.append(Op("wflush"))
+    # Unsynced multi-user tail: pending ops from several sessions.
+    for sid in range(n_users):
+        deliver(sid)
+    ops.append(Op("wflush"))
+    return ops
+
+
 #: Registry the explorer and the harness ``torture`` target iterate,
 #: in deterministic order.
 WORKLOADS: Dict[str, Callable[[int], List[Op]]] = {
     "tokubench": tokubench_kv,
     "mailserver": mailserver_kv,
+    "mailserver_mt": mailserver_mt_kv,
 }

@@ -39,7 +39,7 @@ def main(argv=None) -> int:
         "target",
         choices=[
             "table1", "table3", "fig2", "hdd", "all", "stats", "ftl",
-            "fsck", "torture", "bench",
+            "fsck", "torture", "bench", "mt",
         ],
         help="which artifact to regenerate (hdd = the prior-work "
         "'compleat on an HDD' context for BetrFS v0.4; stats = run a "
@@ -49,7 +49,10 @@ def main(argv=None) -> int:
         "saved device image, see repro.check.fsck; torture = "
         "systematic crash-state exploration, see repro.crashmc; "
         "bench = wall-clock benchmark suite emitting BENCH_*.json, "
-        "see repro.harness.bench)",
+        "see repro.harness.bench; mt = multi-tenant mailserver under "
+        "the deterministic session scheduler, see repro.sched — "
+        "prints a byte-diffable JSON summary with per-session latency "
+        "percentiles and fairness gauges)",
     )
     parser.add_argument(
         "image",
@@ -151,8 +154,32 @@ def main(argv=None) -> int:
         default=None,
         help="bench: subset of bench workloads to run",
     )
+    parser.add_argument(
+        "--sessions",
+        type=int,
+        default=8,
+        help="mt: number of concurrent client sessions",
+    )
+    parser.add_argument(
+        "--policy",
+        choices=["fifo", "rr", "lottery"],
+        default="fifo",
+        help="mt: scheduling policy (see repro.sched.policy)",
+    )
+    parser.add_argument(
+        "--ops-per-session",
+        type=int,
+        default=0,
+        help="mt: ops per session (0 = split the scale's sequential "
+        "op count across the sessions)",
+    )
     parser.add_argument("--quiet", action="store_true")
     args = parser.parse_args(argv)
+
+    if args.target == "mt":
+        if args.image is not None:
+            parser.error("an image argument is only valid for the fsck target")
+        return _run_mt(args)
 
     if args.target == "bench":
         if args.image is not None:
@@ -247,6 +274,38 @@ def main(argv=None) -> int:
                 fh.write(render_experiments_md(tables, figures, scale.name))
         print(f"results written to {args.out}/")
     print(f"total wall time: {watch.elapsed:.1f}s", file=sys.stderr)
+    return 0
+
+
+def _run_mt(args) -> int:
+    """``python -m repro.harness mt --sessions N --seed S``.
+
+    Runs the multi-tenant mailserver under the deterministic session
+    scheduler and prints the summary JSON on stdout — sorted keys, no
+    wall time — so two same-seed runs byte-diff clean.  The per-layer
+    stats table (including the ``sched`` fairness gauges) and a short
+    fairness report go to stderr unless ``--quiet``.
+    """
+    from repro.harness.mt import render_fairness, run_mt, to_json
+
+    scale = DEFAULT_SCALE if args.scale == "default" else SMOKE_SCALE
+    obs = Observability()
+    with session(obs):
+        summary = run_mt(
+            scale,
+            sessions=args.sessions,
+            seed=args.seed,
+            policy=args.policy,
+            ops_per_session=args.ops_per_session,
+        )
+        stats = obs.render_stats()
+    print(to_json(summary), end="")
+    if not args.quiet:
+        print(stats, file=sys.stderr)
+        print(render_fairness(summary), file=sys.stderr)
+    if args.metrics_out:
+        obs.write_metrics(args.metrics_out)
+        print(f"metrics written to {args.metrics_out}", file=sys.stderr)
     return 0
 
 

@@ -40,6 +40,7 @@ from repro.harness.runner import make_mount
 from repro.obs.prof import WallProfiler, wall_ns
 from repro.workloads.archive import tar_tree, untar_tree
 from repro.workloads.mailserver import mailserver
+from repro.workloads.mailserver_mt import mailserver_mt
 from repro.workloads.scale import DEFAULT_SCALE, SMOKE_SCALE, WorkloadScale
 from repro.workloads.tokubench import tokubench
 from repro.workloads.trees import linux_like_tree
@@ -84,6 +85,14 @@ def _fig2a_tar(mount, scale: WorkloadScale) -> float:
     return untar + tar
 
 
+def _mailserver_mt_bench(mount, scale: WorkloadScale) -> float:
+    """Multi-tenant mailserver: 8 scheduled sessions sharing the mount
+    (see repro.sched); returns aggregate ops/simulated-second."""
+    sched = mailserver_mt(mount, scale, sessions=8, seed=11, policy="fifo")
+    elapsed = mount.clock.now - sched.started
+    return sched.total_ops() / elapsed if elapsed > 0 else 0.0
+
+
 BENCH_WORKLOADS: Tuple[BenchWorkload, ...] = (
     BenchWorkload(
         "tokubench",
@@ -102,6 +111,12 @@ BENCH_WORKLOADS: Tuple[BenchWorkload, ...] = (
         _fig2a_tar,
         lambda s: 2 * s.tree_files,
         metric="sim_seconds_untar_plus_tar",
+    ),
+    BenchWorkload(
+        "mailserver_mt",
+        _mailserver_mt_bench,
+        lambda s: s.mail_ops,
+        metric="sim_ops_per_sec",
     ),
 )
 

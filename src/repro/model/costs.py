@@ -152,6 +152,16 @@ class CostModel:
     journal_block: float = 1.0e-6
 
     # ------------------------------------------------------------------
+    # Scheduling (multi-tenant runs only)
+    # ------------------------------------------------------------------
+    #: One context switch between client sessions: save/restore register
+    #: state plus the cache/TLB disturbance of switching address-space
+    #: working sets — a few microseconds on the paper's Xeon-class host.
+    #: Charged by ``repro.sched`` only when consecutive dispatches pick
+    #: *different* sessions, so a single-session run charges nothing.
+    context_switch: float = 3.0e-6
+
+    # ------------------------------------------------------------------
     # Scaling knob
     # ------------------------------------------------------------------
     #: Global multiplier over every CPU charge; 1.0 models the paper's

@@ -19,7 +19,7 @@ Profiling capture
 -----------------
 
 :class:`WallProfiler` wraps :mod:`cProfile` and aggregates the
-captured ``pstats`` rows onto the declared 15-layer architecture
+captured ``pstats`` rows onto the declared 16-layer architecture
 manifest of :mod:`repro.check.arch` — the same manifest the import-DAG
 checker enforces — so a profile answers "which *layer* burns the wall
 clock", not just "which function".  It also exports top-N hot

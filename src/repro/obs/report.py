@@ -15,7 +15,7 @@ from repro.obs.metrics import Histogram, MetricsRegistry
 
 #: Render order for layers (unknown layers append at the end).
 LAYER_ORDER = [
-    "vfs", "northbound", "tree", "log", "checkpoint",
+    "sched", "vfs", "northbound", "tree", "log", "checkpoint",
     "cache", "storage", "kmem", "device",
 ]
 

@@ -1,0 +1,313 @@
+"""The deterministic multi-tenant scheduler.
+
+One :class:`Scheduler` drives N :class:`~repro.sched.session.Session`
+coroutines over **one shared mount** — one VFS, one page cache, one
+Bε-tree, one device timeline.  The main loop is a textbook dispatcher:
+
+1. collect the ready sessions (id order);
+2. ask the policy (FIFO / round-robin / lottery) for the next one,
+   feeding it the scheduler's single seeded RNG;
+3. charge a context-switch cost iff the dispatched session differs
+   from the previous one (so an N=1 run charges nothing extra);
+4. resume the session's generator; it executes VFS/tree operations —
+   charging the shared simulated clock — until it hits a blocking
+   point and yields, or finishes.
+
+Wait accounting happens at dispatch: the interval between a session
+becoming runnable and actually running is its *wait*, accumulated into
+per-session totals, a latency histogram, and the max-wait starvation
+gauge.  Fairness is summarized by Jain's index over per-session
+service time and completed ops.
+
+Determinism: scripts draw only from explicitly seeded RNGs, the policy
+sees the ready set in a pinned order, lock handoff is FIFO, and
+nothing reads the wall clock — so one (seed, policy, scripts) triple
+produces one interleaving, byte for byte.  The scheduler additionally
+asserts at every suspension that the Bε-tree is quiescent
+(``KVEnv.in_critical``): a yield inside a flush/split would let
+another session observe a half-mutated tree, and must be impossible.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Callable, Dict, Generator, List, Optional
+
+from repro.check.errors import SchedInvariantError, require
+from repro.sched.locks import LockTable
+from repro.sched.policy import Policy, make_policy
+from repro.sched.session import (
+    Blocked,
+    BlockSignal,
+    DONE,
+    LOCKWAIT,
+    READY,
+    Session,
+    SessionContext,
+)
+
+#: Salt for the policy RNG stream (integer-keyed off the root seed, as
+#: everywhere in the repo — never ``hash(str)``).
+_POLICY_STREAM = 0x5C4ED
+
+
+class SchedStats:
+    """Numeric fairness/starvation snapshot for the stats table.
+
+    Registered as an ad-hoc stats object (rendered in the "op counts"
+    section of ``obs.render_stats()``); the scheduler refreshes it when
+    :meth:`Scheduler.run` finishes.
+    """
+
+    def __init__(self) -> None:
+        self.sessions = 0
+        self.switches = 0
+        self.dispatches = 0
+        self.ops = 0
+        self.jain_service = 1.0
+        self.jain_ops = 1.0
+        self.max_wait_seconds = 0.0
+        self.lock_acquisitions = 0
+        self.lock_contentions = 0
+
+
+class Scheduler:
+    """Interleave session generators over one shared mount."""
+
+    def __init__(
+        self,
+        mount: Any,
+        policy: str = "fifo",
+        seed: int = 0,
+        obs: Any = None,
+    ) -> None:
+        self.mount = mount
+        self.clock = mount.clock
+        self.costs = mount.costs
+        self.seed = seed
+        self.policy: Policy = make_policy(policy)
+        self.rng = random.Random((seed & 0xFFFFFFFF) ^ _POLICY_STREAM)
+        self.locks = LockTable()
+        self.signal = BlockSignal()
+        self.sessions: List[Session] = []
+        self.switches = 0
+        self.dispatches = 0
+        self._env = getattr(mount, "env", None)
+        self._started = 0.0
+        self._finished: Optional[float] = None
+        self.stats = SchedStats()
+        scope = obs if obs is not None else getattr(mount, "obs", None)
+        self._wait_hist = None
+        self._op_hist = None
+        if scope is not None:
+            self._instrument(scope)
+
+    # ------------------------------------------------------------------
+    # Observability (gauges are pull-based: registered once, read at
+    # collection time, zero per-dispatch cost)
+    # ------------------------------------------------------------------
+    def _instrument(self, scope: Any) -> None:
+        reg = scope.registry
+        reg.gauge("sched.sessions", layer="sched", fn=lambda: len(self.sessions))
+        reg.gauge("sched.switches", layer="sched", fn=lambda: float(self.switches))
+        reg.gauge("sched.dispatches", layer="sched", fn=lambda: float(self.dispatches))
+        reg.gauge("sched.jain_index", layer="sched", fn=self.jain_service)
+        reg.gauge("sched.jain_ops", layer="sched", fn=self.jain_ops)
+        reg.gauge("sched.max_wait_seconds", layer="sched", fn=self.max_wait)
+        reg.gauge(
+            "sched.lock_contentions",
+            layer="sched",
+            fn=lambda: float(self.locks.contentions),
+        )
+        self._wait_hist = scope.latency("sched.wait", layer="sched")
+        self._op_hist = scope.latency("sched.op_latency", layer="sched")
+        scope.register_object("sched.fairness", self.stats, layer="sched")
+
+    def _refresh_stats(self) -> None:
+        st = self.stats
+        st.sessions = len(self.sessions)
+        st.switches = self.switches
+        st.dispatches = self.dispatches
+        st.ops = self.total_ops()
+        st.jain_service = self.jain_service()
+        st.jain_ops = self.jain_ops()
+        st.max_wait_seconds = self.max_wait()
+        st.lock_acquisitions = self.locks.acquisitions
+        st.lock_contentions = self.locks.contentions
+
+    # ------------------------------------------------------------------
+    # Session management
+    # ------------------------------------------------------------------
+    def spawn(
+        self,
+        name: str,
+        script: Callable[[SessionContext], Generator[Blocked, None, None]],
+        tickets: int = 1,
+    ) -> Session:
+        """Create a session from a script factory ``script(ctx)``."""
+        sid = len(self.sessions)
+        ctx = SessionContext(sid, self)
+        session = Session(sid, name, ctx)
+        ctx.session = session
+        session.gen = script(ctx)
+        self.sessions.append(session)
+        if tickets != 1:
+            self.policy.set_tickets(
+                {s.sid: tickets if s.sid == sid else 1 for s in self.sessions}
+            )
+        return session
+
+    # ------------------------------------------------------------------
+    # Callbacks from SessionContext
+    # ------------------------------------------------------------------
+    def wake_lock_waiter(self, sid: int) -> None:
+        session = self.sessions[sid]
+        require(
+            session.state == LOCKWAIT,
+            f"lock handoff to session {sid} in state {session.state}",
+            SchedInvariantError,
+        )
+        session.state = READY
+        session.runnable_since = self.clock.now
+
+    def note_op_done(self, session: Session) -> None:
+        now = self.clock.now
+        latency = now - session.last_op_end
+        session.last_op_end = now
+        session.latencies.append(latency)
+        session.ops += 1
+        if self._op_hist is not None:
+            self._op_hist.observe(latency)
+
+    # ------------------------------------------------------------------
+    # The dispatch loop
+    # ------------------------------------------------------------------
+    def run(self) -> None:
+        """Run every session to completion (the whole multi-tenant
+        workload executes inside this call)."""
+        vfs = getattr(self.mount, "vfs", None)
+        self._started = self.clock.now
+        for session in self.sessions:
+            session.runnable_since = self._started
+            session.last_op_end = self._started
+        if vfs is not None:
+            vfs.block_signal = self.signal
+        if self._env is not None:
+            self._env.block_signal = self.signal
+        try:
+            self._loop()
+        finally:
+            if vfs is not None:
+                vfs.block_signal = None
+            if self._env is not None:
+                self._env.block_signal = None
+            self._refresh_stats()
+        self._finished = self.clock.now
+
+    def _loop(self) -> None:
+        last: Optional[Session] = None
+        while True:
+            ready = [s for s in self.sessions if s.state == READY]
+            if not ready:
+                blocked = [s for s in self.sessions if s.state == LOCKWAIT]
+                require(
+                    not blocked,
+                    "scheduler stalled: sessions blocked on locks with no "
+                    "runnable owner (lock-order violation in the workload)",
+                    SchedInvariantError,
+                    detail=[s.name for s in blocked],
+                )
+                return  # all sessions DONE
+            session = self.policy.pick(ready, self.rng)
+            now = self.clock.now
+            wait = now - session.runnable_since
+            if wait > 0.0:
+                session.note_wait(wait)
+                if self._wait_hist is not None:
+                    self._wait_hist.observe(wait)
+            self.dispatches += 1
+            if last is not None and last is not session:
+                # The only cost the scheduler itself charges; absent at
+                # N=1, so the sequential path is reproduced bit-for-bit.
+                self.clock.cpu(self.costs.context_switch)
+                self.switches += 1
+            last = session
+            self._step(session)
+
+    def _step(self, session: Session) -> None:
+        t0 = self.clock.now
+        try:
+            event = next(session.gen)
+        except StopIteration:
+            session.service += self.clock.now - t0
+            session.state = DONE
+            held = self.locks.held_by(session.sid)
+            require(
+                not held,
+                f"session {session.sid} finished holding locks",
+                SchedInvariantError,
+                detail=held,
+            )
+            return
+        session.service += self.clock.now - t0
+        require(
+            isinstance(event, Blocked),
+            "session yielded a non-Blocked event",
+            SchedInvariantError,
+            detail=event,
+        )
+        # Reentrancy audit: a suspension must never happen inside a
+        # tree critical section (flush/split half-applied).
+        require(
+            self._env is None or not self._env.in_critical,
+            "session suspended inside a Bε-tree critical section",
+            SchedInvariantError,
+        )
+        if event.lock_key is not None:
+            session.state = LOCKWAIT
+        else:
+            session.state = READY
+            session.runnable_since = self.clock.now
+
+    # ------------------------------------------------------------------
+    # Fairness / starvation metrics
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _jain(values: List[float]) -> float:
+        """Jain's fairness index: (Σx)² / (n·Σx²); 1.0 = perfectly
+        fair, 1/n = one session got everything.  Empty/all-zero → 1.0."""
+        n = len(values)
+        sumsq = sum(v * v for v in values)
+        if n == 0 or sumsq == 0.0:
+            return 1.0
+        total = sum(values)
+        return (total * total) / (n * sumsq)
+
+    def jain_service(self) -> float:
+        return self._jain([s.service for s in self.sessions])
+
+    def jain_ops(self) -> float:
+        return self._jain([float(s.ops) for s in self.sessions])
+
+    def max_wait(self) -> float:
+        return max((s.max_wait for s in self.sessions), default=0.0)
+
+    def total_ops(self) -> int:
+        return sum(s.ops for s in self.sessions)
+
+    def block_totals(self) -> Dict[str, int]:
+        totals: Dict[str, int] = {}
+        for session in self.sessions:
+            for kind, count in session.blocks.items():
+                totals[kind] = totals.get(kind, 0) + count
+        return {k: totals[k] for k in sorted(totals)}
+
+    @property
+    def started(self) -> float:
+        """Simulated instant :meth:`run` began."""
+        return self._started
+
+    @property
+    def elapsed(self) -> float:
+        end = self._finished if self._finished is not None else self.clock.now
+        return end - self._started

@@ -129,6 +129,10 @@ class VFS:
         self.costs = costs
         self.pages = PageCache(clock, costs, page_cache_bytes, dirty_limit_bytes)
         self.dcache = DentryCache()
+        #: Blocking-point reporter installed by a scheduler for
+        #: multi-tenant runs (repro.sched); ``None`` — and therefore a
+        #: single attribute test — on sequential runs.
+        self.block_signal = None
         #: Per-path sequential-read detector: path -> (next_off, streak).
         self._read_streams: Dict[str, Tuple[int, int]] = {}
         self.syscalls = 0
@@ -499,6 +503,8 @@ class VFS:
             inode.dirty = True
             inode.dirtied_at = self.clock.now
         if self.pages.over_dirty_limit():
+            if self.block_signal is not None:
+                self.block_signal.note("writeback")
             self.writeback()
             self.backend.throttle()
         self._balance_page_cache()
@@ -547,6 +553,8 @@ class VFS:
         count = 1
         if seq_hint:
             count = READAHEAD_MAX_PAGES
+        if self.block_signal is not None:
+            self.block_signal.note("pagecache_miss")
         frames = self.backend.read_pages(path, idx, count, seq_hint)
         page = None
         for i, frame in enumerate(frames):
@@ -594,6 +602,8 @@ class VFS:
     def fsync(self, path: str) -> None:
         self._charge_syscall(path)
         inode = self._require(path)
+        if self.block_signal is not None:
+            self.block_signal.note("fsync")
         self.writeback(path=path)
         if inode.dirty:
             self.backend.set_stat(path, inode.stat, inode.pinned_log_section)
@@ -603,6 +613,8 @@ class VFS:
 
     def sync(self) -> None:
         self.clock.cpu(self.costs.syscall_overhead)
+        if self.block_signal is not None:
+            self.block_signal.note("fsync")
         self.writeback()
         self.writeback_inodes(force=True)
         self.backend.sync()

@@ -5,16 +5,40 @@ The paper: Dovecot 2.2.13, 10 folders x 2500 messages, 8 clients x
 Maildir-style storage: one file per message; a mark rewrites flags in
 the file name / index (small write + fsync), a move is a rename across
 folders, a delete is an unlink; reads read the whole message.
+
+The op mix is factored into :func:`mail_mix`, a lazy generator over a
+shared :class:`MailState`, so the sequential benchmark here and the
+multi-tenant variant (:mod:`repro.workloads.mailserver_mt`) draw the
+exact same RNG stream per client: with one client the two paths are
+bit-identical.  Generation mutates the shared index eagerly (moves and
+deletes *pop* their victim when drawn), which is also what makes the
+multi-tenant interleaving safe: no session can target a message another
+session is about to move or delete.  A move's new id is published to
+its destination folder by the *executor*, after the rename lands.
 """
 
 from __future__ import annotations
 
 import random
-from typing import List
+from dataclasses import dataclass
+from typing import Iterator, List, Tuple
 
 from repro.workloads.scale import WorkloadScale
 
 MSG_BYTES = 8192  # ~8 KiB average message
+
+#: Op tuples yielded by :func:`mail_mix`:
+#: ("read", folder, msg) / ("mark", folder, msg) /
+#: ("move", folder, msg, dst_folder, new_id) / ("delete", folder, msg).
+MailOp = Tuple
+
+
+@dataclass
+class MailState:
+    """Shared mailbox index: live message ids per folder + id counter."""
+
+    folders: List[List[int]]
+    next_id: int
 
 
 def _msg_path(folder: int, msg_id: int) -> str:
@@ -44,42 +68,65 @@ def setup_mailserver(mount, scale: WorkloadScale) -> List[List[int]]:
     return folders
 
 
-def mailserver(mount, scale: WorkloadScale, seed: int = 11) -> float:
-    """Run the 50/50 read/update mix; returns ops/second."""
-    vfs = mount.vfs
-    folders = setup_mailserver(mount, scale)
-    rng = random.Random(seed)
-    next_id = sum(len(ids) for ids in folders)
-    start = mount.clock.now
-    ops = 0
-    for _ in range(scale.mail_ops):
+def mail_mix(state: MailState, rng: random.Random, n_ops: int) -> Iterator[MailOp]:
+    """Yield up to ``n_ops`` ops of the 50/25/12/13 read/mark/move/delete
+    mix, drawing from ``rng`` and the *current* ``state``.
+
+    Lazy by design: each op is drawn only when the previous one has
+    executed, so draws observe every published state change (including
+    this or another client's completed moves).  Moves and deletes pop
+    their victim from the shared index at draw time; a drawn slot
+    landing on an empty folder yields nothing (matching the historical
+    sequential loop, which spent the iteration without an op).
+    """
+    folders = state.folders
+    for _ in range(n_ops):
         f = rng.randrange(len(folders))
         if not folders[f]:
             continue
         r = rng.random()
         if r < 0.50:
-            # Read a message.
-            msg = rng.choice(folders[f])
-            vfs.read(_msg_path(f, msg), 0, MSG_BYTES)
+            yield ("read", f, rng.choice(folders[f]))
         elif r < 0.80:
-            # Mark: rewrite the index/flags — small durable update.
-            msg = rng.choice(folders[f])
-            path = _msg_path(f, msg)
-            vfs.write(path, 0, b"Status: RO\r\n")
-            vfs.fsync(path)
+            yield ("mark", f, rng.choice(folders[f]))
         elif r < 0.92:
-            # Move to another folder (rename).
             msg = folders[f].pop(rng.randrange(len(folders[f])))
             g = rng.randrange(len(folders))
-            src = _msg_path(f, msg)
-            dst = _msg_path(g, next_id)
-            next_id += 1
-            vfs.rename(src, dst)
-            folders[g].append(next_id - 1)
+            new_id = state.next_id
+            state.next_id += 1
+            yield ("move", f, msg, g, new_id)
         else:
-            # Delete.
             msg = folders[f].pop(rng.randrange(len(folders[f])))
-            vfs.unlink(_msg_path(f, msg))
+            yield ("delete", f, msg)
+
+
+def apply_mail_op(vfs, state: MailState, op: MailOp) -> None:
+    """Execute one :func:`mail_mix` op against the VFS (sequentially)."""
+    kind = op[0]
+    if kind == "read":
+        vfs.read(_msg_path(op[1], op[2]), 0, MSG_BYTES)
+    elif kind == "mark":
+        path = _msg_path(op[1], op[2])
+        vfs.write(path, 0, b"Status: RO\r\n")
+        vfs.fsync(path)
+    elif kind == "move":
+        _, f, msg, g, new_id = op
+        vfs.rename(_msg_path(f, msg), _msg_path(g, new_id))
+        state.folders[g].append(new_id)
+    else:
+        vfs.unlink(_msg_path(op[1], op[2]))
+
+
+def mailserver(mount, scale: WorkloadScale, seed: int = 11) -> float:
+    """Run the 50/50 read/update mix; returns ops/second."""
+    vfs = mount.vfs
+    folders = setup_mailserver(mount, scale)
+    state = MailState(folders, sum(len(ids) for ids in folders))
+    rng = random.Random(seed)
+    start = mount.clock.now
+    ops = 0
+    for op in mail_mix(state, rng, scale.mail_ops):
+        apply_mail_op(vfs, state, op)
         ops += 1
     vfs.sync()
     elapsed = mount.clock.now - start

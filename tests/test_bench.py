@@ -88,7 +88,7 @@ class TestBenchSummary:
 
     def test_workload_registry_names(self):
         names = {wl.name for wl in BENCH_WORKLOADS}
-        assert names == {"tokubench", "mailserver", "fig2a_tar"}
+        assert names == {"tokubench", "mailserver", "mailserver_mt", "fig2a_tar"}
 
 
 # ======================================================================
