@@ -1,8 +1,9 @@
 """CLI entry point for the checkers.
 
 ``python -m repro.check lint [paths] [--format json] [--graph-out P]``
-runs the purity lint plus the whole-program analyses; ``arch`` and
-``costflow`` run each analysis alone (same exit-code contract).
+runs the purity lint plus the whole-program analyses; ``arch``,
+``costflow`` and ``conc`` run each analysis alone (same exit-code
+contract).
 """
 
 from __future__ import annotations
@@ -11,10 +12,11 @@ import sys
 from typing import List, Optional
 
 _USAGE = (
-    "usage: python -m repro.check {lint,arch,costflow} [options]\n"
-    "  lint      purity lint + arch + costflow (--format json, --graph-out P)\n"
+    "usage: python -m repro.check {lint,arch,costflow,conc} [options]\n"
+    "  lint      purity lint + arch + costflow + conc (--format json, --graph-out P)\n"
     "  arch      layer-manifest / import-cycle analysis only\n"
-    "  costflow  must-charge byte-flow analysis only"
+    "  costflow  must-charge byte-flow analysis only\n"
+    "  conc      static concurrency analysis only (--graph-out P, --baseline F)"
 )
 
 
@@ -36,6 +38,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         from repro.check import costflow
 
         return costflow.main(rest)
+    if command == "conc":
+        from repro.check import conc
+
+        return conc.main(rest)
     print(f"repro.check: unknown command {command!r}", file=sys.stderr)
     print(_USAGE, file=sys.stderr)
     return 2

@@ -147,6 +147,14 @@ class ArchReport:
                 attrs.append("color=orange")
             suffix = f" [{', '.join(attrs)}]" if attrs else ""
             lines.append(f'  "{edge.src}" -> "{edge.dst}"{suffix};')
+        # Legend: every manifest layer, top to bottom, whether or not
+        # any analyzed module landed in it (so a fixture render still
+        # documents the full 16-layer stack, sched included).
+        legend = "\\l".join(layer for layer, _prefixes in LAYER_MANIFEST) + "\\l"
+        lines.append("  subgraph cluster_legend {")
+        lines.append('    label="layers (top to bottom)";')
+        lines.append(f'    "legend" [shape=plaintext, label="{legend}"];')
+        lines.append("  }")
         lines.append("}")
         return "\n".join(lines) + "\n"
 

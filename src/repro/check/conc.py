@@ -1,0 +1,1319 @@
+"""Whole-program static concurrency analysis for the scheduler era.
+
+``python -m repro.check conc`` proves — over the whole call graph, not
+per-run — the four disciplines that keep `repro.sched` deterministic
+and deadlock-free (PR 7 enforces them only on the paths a given seed
+happens to execute):
+
+* **lock-order** (``lock-cycle``): every multi-lock acquisition path
+  must follow the sorted-key discipline.  Lock keys are abstracted to
+  *lock classes* — a constant key is its own exact class, an f-string
+  key collapses to its constant prefix (``f"folder:{f:02d}"`` →
+  ``folder:``), a helper call is chased to its return expression, and
+  anything else is the wildcard class ``*``.  Acquire sites build a
+  *may-hold-while-acquiring* graph over classes; a cycle is reported
+  unless every edge in it was acquired by iterating a ``sorted(...)``
+  key sequence (string sort is one global total order, so sorted-loop
+  acquisition can never deadlock against itself).
+* **yield-discipline** (``critical-yield``, ``lock-leak``): a
+  structural abstract interpretation of every function body proves no
+  suspension point (``yield`` / ``yield from ctx.run(...)`` /
+  ``yield from ctx.acquire(...)``) is reachable while the KV env's
+  critical-section depth is positive, and that every ``ctx.acquire``
+  dominates a matching ``ctx.release`` on all non-exception exits.
+  Helper generators driven via ``yield from helper(ctx, ...)`` are
+  summarized interprocedurally (classes acquired, net held delta,
+  may-suspend).
+* **signal-placement** (``signal-misplaced``, ``signal-unguarded``):
+  ``BlockSignal`` fires may only occur in modules at or below the
+  layer :data:`SIGNAL_LAYERS` assigns the kind, and every fire site
+  must sit under the ``<receiver> is not None`` fast-path guard so
+  sequential (unscheduled) runs stay one-attribute-read cheap.
+* **session-purity** (``conc-impure``): code reachable from
+  ``SessionContext.run``/``acquire``/``release``/``op_done`` through
+  the typed call graph must not assign attributes of scheduler-global
+  state (:data:`STATE_CLASS_NAMES`) except inside the sink set
+  (:data:`SINK_METHODS`) or a constructor.
+
+Known idealizations (shared with the runtime cross-check in
+``harness mt --verify-lock-graph``, which backstops them): loops over
+a recognized key sequence are assumed to drain it fully (the canonical
+acquire-all / release-all shape); exception paths are exempt from
+``lock-leak``; recursion between helper generators yields an empty
+summary.
+
+False positives carry ``# conc: allow[reason]`` waivers — same
+machinery and hygiene rules (``unused-waiver``) as arch/costflow.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.check import costflow
+from repro.check.arch import LAYER_MANIFEST, _module_name, classify
+from repro.check.lint import Violation, _walk_repo, repo_root
+from repro.check.waivers import WaiverSet, scan_waivers
+
+#: Every rule this analyzer can report.
+RULES = (
+    "lock-cycle",
+    "critical-yield",
+    "lock-leak",
+    "signal-misplaced",
+    "signal-unguarded",
+    "conc-impure",
+    "unused-waiver",
+)
+
+#: Wildcard lock class: a key the abstraction cannot classify.
+UNKNOWN = ("*", False)
+
+#: BlockSignal kind -> the arch-manifest layer that owns it.  A fire
+#: site may live in the owning layer or any layer *below* it (higher
+#: manifest rank); firing from above means a layer is reporting a
+#: blocking point it cannot know about.
+SIGNAL_LAYERS: Dict[str, str] = {
+    "pagecache_miss": "vfs",
+    "writeback": "vfs",
+    "fsync": "vfs",
+    "tree_io": "core",
+    "journal_commit": "core",
+    "lock_wait": "sched",
+}
+
+#: Scheduler-global state: mutating an attribute of one of these from
+#: session-reachable code (outside the sinks) breaks determinism.
+STATE_CLASS_NAMES: FrozenSet[str] = frozenset(
+    {"Scheduler", "Session", "SessionLock", "LockTable", "BlockSignal"}
+)
+
+#: The sink set: the only (class, method) pairs reachable from a
+#: session that may legitimately mutate scheduler-global state.
+SINK_METHODS: FrozenSet[Tuple[str, str]] = frozenset(
+    {
+        ("SessionContext", "run"),
+        ("SessionContext", "acquire"),
+        ("SessionContext", "release"),
+        ("SessionContext", "op_done"),
+        ("Scheduler", "wake_lock_waiter"),
+        ("Scheduler", "note_op_done"),
+        ("Scheduler", "note_lock_order"),
+        ("SessionLock", "try_take"),
+        ("SessionLock", "enqueue"),
+        ("SessionLock", "release"),
+        ("LockTable", "get"),
+        ("BlockSignal", "note"),
+        ("BlockSignal", "clear"),
+        ("Session", "note_wait"),
+        ("Session", "note_block"),
+    }
+)
+
+#: Session entry points: the generator primitives scripts drive.
+ENTRY_METHODS: Tuple[Tuple[str, str], ...] = (
+    ("SessionContext", "run"),
+    ("SessionContext", "acquire"),
+    ("SessionContext", "release"),
+    ("SessionContext", "op_done"),
+)
+
+#: Held-count saturation: "acquired an unbounded number of times".
+_MANY = 2
+
+
+# ======================================================================
+# Lock graph
+# ======================================================================
+@dataclass
+class LockEdge:
+    """One may-hold-while-acquiring edge between lock classes."""
+
+    src: str
+    dst: str
+    ordered: bool  # acquired by iterating a sorted(...) key sequence
+    path: str
+    line: int
+    func: str  # "module:qualname" of the acquire site
+    chain: str = ""  # caller -> callee evidence for summarized sites
+    waived: bool = False
+
+    def to_dict(self) -> Dict[str, object]:
+        out: Dict[str, object] = {
+            "src": self.src,
+            "dst": self.dst,
+            "sorted": self.ordered,
+            "path": self.path,
+            "line": self.line,
+            "func": self.func,
+        }
+        if self.chain:
+            out["chain"] = self.chain
+        return out
+
+    def render(self) -> str:
+        via = f" via {self.chain}" if self.chain else ""
+        return f"{self.src} -> {self.dst} ({self.path}:{self.line} in {self.func}{via})"
+
+
+@dataclass
+class LockGraph:
+    """Static lock-acquisition graph over lock classes."""
+
+    nodes: Dict[str, bool] = field(default_factory=dict)  # pattern -> exact?
+    edges: List[LockEdge] = field(default_factory=list)
+    _seen: Set[Tuple[str, str, bool, str, int]] = field(default_factory=set)
+
+    def add_node(self, cls: Tuple[str, bool]) -> None:
+        pattern, exact = cls
+        self.nodes[pattern] = self.nodes.get(pattern, exact) and exact
+
+    def add_edge(
+        self,
+        src: Tuple[str, bool],
+        dst: Tuple[str, bool],
+        ordered: bool,
+        path: str,
+        line: int,
+        func: str,
+        chain: str = "",
+    ) -> None:
+        self.add_node(src)
+        self.add_node(dst)
+        key = (src[0], dst[0], ordered, path, line)
+        if key in self._seen:
+            return
+        self._seen.add(key)
+        self.edges.append(
+            LockEdge(src[0], dst[0], ordered, path, line, func, chain)
+        )
+
+    def _match(self, pattern: str, key: str) -> bool:
+        if pattern == "*":
+            return True
+        if self.nodes.get(pattern, True):
+            return key == pattern
+        return key.startswith(pattern)
+
+    def covers(self, held: str, acquired: str) -> bool:
+        """Is the concrete runtime order ``held`` -> ``acquired`` an
+        instance of some static edge?  Ordered (sorted-discipline)
+        edges only cover key pairs in string order."""
+        for edge in self.edges:
+            if not self._match(edge.src, held):
+                continue
+            if not self._match(edge.dst, acquired):
+                continue
+            if edge.ordered and not held <= acquired:
+                continue
+            return True
+        return False
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "nodes": [
+                {"class": p, "exact": self.nodes[p]} for p in sorted(self.nodes)
+            ],
+            "edges": [
+                e.to_dict()
+                for e in sorted(
+                    self.edges, key=lambda e: (e.src, e.dst, e.path, e.line)
+                )
+            ],
+        }
+
+    def to_dot(self) -> str:
+        lines = [
+            "digraph repro_locks {",
+            "  rankdir=LR;",
+            '  node [shape=box, fontsize=10, fontname="monospace"];',
+        ]
+        for pattern in sorted(self.nodes):
+            shape = "box" if self.nodes[pattern] else "folder"
+            lines.append(f'  "{pattern}" [shape={shape}];')
+        for e in sorted(self.edges, key=lambda e: (e.src, e.dst, e.path, e.line)):
+            attrs = [f'label="{e.path.rsplit("/", 1)[-1]}:{e.line}"']
+            if e.ordered:
+                attrs.append("style=dashed")
+                attrs.append('color="darkgreen"')
+            lines.append(f'  "{e.src}" -> "{e.dst}" [{", ".join(attrs)}];')
+        lines.append(
+            '  labelloc="t"; label="lock classes: solid = program order, '
+            'dashed = sorted-key discipline";'
+        )
+        lines.append("}")
+        return "\n".join(lines) + "\n"
+
+
+# ======================================================================
+# Report
+# ======================================================================
+@dataclass
+class ConcReport:
+    violations: List[Violation] = field(default_factory=list)
+    waivers: List[str] = field(default_factory=list)
+    lock_graph: LockGraph = field(default_factory=LockGraph)
+    functions: int = 0
+    acquire_sites: int = 0
+    signal_sites: int = 0
+    reachable: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "rules": list(RULES),
+            "functions": self.functions,
+            "acquire_sites": self.acquire_sites,
+            "signal_sites": self.signal_sites,
+            "reachable_from_session": self.reachable,
+            "lock_graph": self.lock_graph.to_dict(),
+            "violations": [
+                {"path": v.path, "line": v.line, "rule": v.rule, "message": v.message}
+                for v in self.violations
+            ],
+            "waivers": list(self.waivers),
+        }
+
+
+# ======================================================================
+# Lock/yield abstract interpretation
+# ======================================================================
+class _State:
+    """Abstract machine state at one program point."""
+
+    __slots__ = ("held", "crit", "vars")
+
+    def __init__(self) -> None:
+        #: lock class -> held count (saturating at _MANY)
+        self.held: Dict[Tuple[str, bool], int] = {}
+        #: critical-section depth
+        self.crit = 0
+        #: local name -> ("key", cls) | ("list", classes, ordered)
+        #:             | ("loopkey", classes, ordered)
+        self.vars: Dict[str, tuple] = {}
+
+    def copy(self) -> "_State":
+        out = _State()
+        out.held = dict(self.held)
+        out.crit = self.crit
+        out.vars = dict(self.vars)
+        return out
+
+    def held_classes(self) -> List[Tuple[str, bool]]:
+        return [cls for cls, n in self.held.items() if n > 0]
+
+
+@dataclass
+class _Summary:
+    """Interprocedural effect of one helper generator/function."""
+
+    acquires: Set[Tuple[str, bool]] = field(default_factory=set)
+    net: Dict[Tuple[str, bool], int] = field(default_factory=dict)
+    suspends: bool = False
+
+
+class _FuncCtx:
+    """Per-function bookkeeping while interpreting one body."""
+
+    def __init__(self, finfo: costflow.FuncInfo, qual: str, node: ast.AST) -> None:
+        self.finfo = finfo
+        self.qual = qual  # display qualname (includes <locals> nesting)
+        self.node = node
+        self.acquires: Set[Tuple[str, bool]] = set()
+        self.suspends = False
+        self.exit_states: List[Tuple[_State, int]] = []
+        self.ctx_names = _context_params(node)
+
+    @property
+    def render(self) -> str:
+        return f"{self.finfo.module}:{self.qual}"
+
+
+def _context_params(node: ast.AST) -> Set[str]:
+    """Parameter names that denote the SessionContext: annotated as
+    such (plain or string annotation) or literally named ``ctx`` —
+    the naming convention every script in the tree follows."""
+    names = {"ctx"}
+    args = getattr(node, "args", None)
+    if args is None:
+        return names
+    for arg in list(args.posonlyargs) + list(args.args) + list(args.kwonlyargs):
+        ann = arg.annotation
+        if ann is None:
+            continue
+        text = ast.unparse(ann)
+        if "SessionContext" in text:
+            names.add(arg.arg)
+    return names
+
+
+class _LockAnalyzer:
+    """Structural abstract interpreter over every function body."""
+
+    def __init__(
+        self,
+        program: costflow.Program,
+        graph: LockGraph,
+        findings: "_Findings",
+    ) -> None:
+        self.program = program
+        self.graph = graph
+        self.findings = findings
+        self.summaries: Dict[str, _Summary] = {}
+        self._in_progress: Set[str] = set()
+        self.acquire_sites = 0
+
+    # -- driver ---------------------------------------------------------
+    def run(self, finfo: costflow.FuncInfo) -> _Summary:
+        return self._exec_function(finfo.key, finfo.qualname, finfo.node, finfo)
+
+    def _exec_function(
+        self, key: str, qual: str, node: ast.AST, finfo: costflow.FuncInfo
+    ) -> _Summary:
+        if key in self.summaries:
+            return self.summaries[key]
+        if key in self._in_progress:
+            return _Summary(suspends=True)  # recursion: empty fixpoint
+        self._in_progress.add(key)
+        fc = _FuncCtx(finfo, qual, node)
+        state = _State()
+        out = self._exec_block(list(getattr(node, "body", [])), state, fc)
+        body = getattr(node, "body", [])
+        if out is not None and body:
+            fc.exit_states.append((out, body[-1].lineno))
+        summary = _Summary(acquires=set(fc.acquires), suspends=fc.suspends)
+        for st, line in fc.exit_states:
+            leaked = sorted(p for (p, _x), n in st.held.items() if n > 0)
+            if leaked:
+                self.findings.add(
+                    finfo.path,
+                    line,
+                    "lock-leak",
+                    f"{fc.render} can exit still holding lock class(es) "
+                    f"{', '.join(leaked)} — release on every non-exception "
+                    "exit or add '# conc: allow[reason]'",
+                )
+            for cls, n in st.held.items():
+                if n > summary.net.get(cls, 0):
+                    summary.net[cls] = n
+        self.summaries[key] = summary
+        self._in_progress.discard(key)
+        return summary
+
+    # -- statement dispatch ---------------------------------------------
+    def _exec_block(
+        self, stmts: List[ast.stmt], state: _State, fc: _FuncCtx
+    ) -> Optional[_State]:
+        cur: Optional[_State] = state
+        for stmt in stmts:
+            if cur is None:
+                break
+            cur = self._exec_stmt(stmt, cur, fc)
+        return cur
+
+    def _exec_stmt(
+        self, stmt: ast.stmt, cur: _State, fc: _FuncCtx
+    ) -> Optional[_State]:
+        if isinstance(stmt, ast.Return):
+            if stmt.value is not None:
+                self._effect_of_expr(stmt.value, cur, fc)
+            fc.exit_states.append((cur, stmt.lineno))
+            return None
+        if isinstance(stmt, ast.Raise):
+            return None  # exception exits are exempt from lock-leak
+        if isinstance(stmt, ast.Expr):
+            self._effect_of_expr(stmt.value, cur, fc)
+            return cur
+        if isinstance(stmt, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+            value = stmt.value
+            if value is not None:
+                self._effect_of_expr(value, cur, fc)
+            target = None
+            if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+                target = stmt.targets[0]
+            elif isinstance(stmt, ast.AnnAssign):
+                target = stmt.target
+            if (
+                value is not None
+                and target is not None
+                and isinstance(target, ast.Name)
+            ):
+                bound = self._classify_binding(value, cur, fc)
+                if bound is not None:
+                    cur.vars[target.id] = bound
+                else:
+                    cur.vars.pop(target.id, None)
+            return cur
+        if isinstance(stmt, ast.If):
+            then = self._exec_block(stmt.body, cur.copy(), fc)
+            other = self._exec_block(stmt.orelse, cur.copy(), fc)
+            if then is None:
+                return other
+            if other is None:
+                return then
+            return self._merge(then, other)
+        if isinstance(stmt, ast.For):
+            return self._exec_for(stmt, cur, fc)
+        if isinstance(stmt, ast.While):
+            out = self._exec_block(stmt.body, cur.copy(), fc)
+            return cur if out is None else self._merge(cur, out)
+        if isinstance(stmt, ast.Try):
+            body_out = self._exec_block(stmt.body, cur.copy(), fc)
+            for handler in stmt.handlers:
+                # Exception paths: scanned for findings, states discarded.
+                self._exec_block(handler.body, cur.copy(), fc)
+            if stmt.orelse and body_out is not None:
+                body_out = self._exec_block(stmt.orelse, body_out, fc)
+            if stmt.finalbody:
+                base = body_out if body_out is not None else cur.copy()
+                fin = self._exec_block(stmt.finalbody, base, fc)
+                return None if body_out is None else fin
+            return body_out
+        if isinstance(stmt, ast.With):
+            return self._exec_block(stmt.body, cur, fc)
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            # Nested defs (workload script factories) run deferred with
+            # fresh state; analyze them as functions in their own right.
+            nested_qual = f"{fc.qual}.<locals>.{stmt.name}"
+            nested_key = f"{fc.finfo.module}:{nested_qual}"
+            self._exec_function(nested_key, nested_qual, stmt, fc.finfo)
+            return cur
+        if isinstance(stmt, (ast.Break, ast.Continue)):
+            return None
+        return cur
+
+    # -- expression effects ---------------------------------------------
+    def _effect_of_expr(self, expr: ast.expr, state: _State, fc: _FuncCtx) -> None:
+        if isinstance(expr, ast.Await):
+            expr = expr.value
+        if isinstance(expr, ast.Yield):
+            self._suspension(expr.lineno, state, fc)
+            return
+        if isinstance(expr, ast.YieldFrom):
+            call = expr.value
+            if isinstance(call, ast.Call):
+                kind = self._ctx_call_kind(call, fc)
+                if kind == "acquire" and call.args:
+                    self._suspension(expr.lineno, state, fc)
+                    self._do_acquire(call.args[0], state, fc, expr.lineno)
+                    return
+                if kind == "run":
+                    self._suspension(expr.lineno, state, fc)
+                    return
+                applied = self._apply_helper(call, state, fc, expr.lineno)
+                if applied:
+                    return
+            self._suspension(expr.lineno, state, fc)
+            return
+        if isinstance(expr, ast.Call):
+            self._plain_call(expr, state, fc)
+
+    def _ctx_call_kind(self, call: ast.Call, fc: _FuncCtx) -> Optional[str]:
+        f = call.func
+        if not isinstance(f, ast.Attribute) or not isinstance(f.value, ast.Name):
+            return None
+        if f.value.id not in fc.ctx_names:
+            return None
+        if f.attr in ("acquire", "run", "release", "op_done"):
+            return f.attr
+        return None
+
+    def _plain_call(self, call: ast.Call, state: _State, fc: _FuncCtx) -> None:
+        f = call.func
+        if not isinstance(f, ast.Attribute):
+            return
+        if f.attr == "enter_critical":
+            state.crit += 1
+            return
+        if f.attr == "exit_critical":
+            state.crit = max(0, state.crit - 1)
+            return
+        if (
+            f.attr == "release"
+            and isinstance(f.value, ast.Name)
+            and f.value.id in fc.ctx_names
+            and call.args
+        ):
+            self._do_release(call.args[0], state, fc)
+
+    def _suspension(self, line: int, state: _State, fc: _FuncCtx) -> None:
+        fc.suspends = True
+        if state.crit > 0:
+            self.findings.add(
+                fc.finfo.path,
+                line,
+                "critical-yield",
+                f"{fc.render} may suspend inside an "
+                "enter_critical/exit_critical section — the tree must be "
+                "quiescent at every session switch; move the blocking "
+                "call outside or add '# conc: allow[reason]'",
+            )
+
+    # -- acquire / release ----------------------------------------------
+    def _do_acquire(
+        self, key_expr: ast.expr, state: _State, fc: _FuncCtx, line: int
+    ) -> None:
+        self.acquire_sites += 1
+        fi = fc.finfo
+        loop = None
+        if isinstance(key_expr, ast.Name):
+            bound = state.vars.get(key_expr.id)
+            if bound is not None and bound[0] == "loopkey":
+                loop = bound
+        if loop is not None:
+            _tag, classes, ordered = loop
+            for held in state.held_classes():
+                if held not in classes:
+                    for cls in sorted(classes):
+                        self.graph.add_edge(held, cls, False, fi.path, line, fc.render)
+            for c1 in sorted(classes):
+                for c2 in sorted(classes):
+                    self.graph.add_edge(c1, c2, ordered, fi.path, line, fc.render)
+            for cls in classes:
+                state.held[cls] = _MANY
+            fc.acquires |= set(classes)
+            return
+        cls = self._key_class(key_expr, state, fc)
+        self.graph.add_node(cls)
+        for held in state.held_classes():
+            self.graph.add_edge(held, cls, False, fi.path, line, fc.render)
+        state.held[cls] = min(_MANY, state.held.get(cls, 0) + 1)
+        fc.acquires.add(cls)
+
+    def _do_release(self, key_expr: ast.expr, state: _State, fc: _FuncCtx) -> None:
+        if isinstance(key_expr, ast.Name):
+            bound = state.vars.get(key_expr.id)
+            if bound is not None and bound[0] == "loopkey":
+                for cls in bound[1]:
+                    if state.held.get(cls, 0) > 0:
+                        state.held[cls] -= 1
+                return
+        cls = self._key_class(key_expr, state, fc)
+        if state.held.get(cls, 0) > 0:
+            state.held[cls] -= 1
+        elif UNKNOWN in state.held and state.held[UNKNOWN] > 0:
+            state.held[UNKNOWN] -= 1
+
+    # -- interprocedural helper application ------------------------------
+    def _apply_helper(
+        self, call: ast.Call, state: _State, fc: _FuncCtx, line: int
+    ) -> bool:
+        env = self.program._param_env(fc.finfo)
+        try:
+            callees = self.program.resolve_call(call, fc.finfo, env)
+        except KeyError:
+            callees = []
+        if not callees:
+            return False
+        for callee in callees:
+            summary = self._exec_function(
+                callee.key, callee.qualname, callee.node, callee
+            )
+            if summary.suspends:
+                self._suspension(line, state, fc)
+            chain = f"{fc.render} -> {callee.key}"
+            for cls in sorted(summary.acquires):
+                for held in state.held_classes():
+                    self.graph.add_edge(
+                        held, cls, False, fc.finfo.path, line, fc.render, chain
+                    )
+            for cls, n in summary.net.items():
+                state.held[cls] = min(_MANY, state.held.get(cls, 0) + n)
+            fc.acquires |= summary.acquires
+        return True
+
+    # -- key/list classification ----------------------------------------
+    def _key_class(
+        self, expr: ast.expr, state: _State, fc: _FuncCtx, depth: int = 0
+    ) -> Tuple[str, bool]:
+        if isinstance(expr, ast.Constant) and isinstance(expr.value, str):
+            return (expr.value, True)
+        if isinstance(expr, ast.JoinedStr):
+            prefix = ""
+            for part in expr.values:
+                if isinstance(part, ast.Constant) and isinstance(part.value, str):
+                    prefix += part.value
+                else:
+                    break
+            return (prefix, False) if prefix else UNKNOWN
+        if (
+            isinstance(expr, ast.BinOp)
+            and isinstance(expr.op, ast.Add)
+            and isinstance(expr.left, ast.Constant)
+            and isinstance(expr.left.value, str)
+        ):
+            return (expr.left.value, False)
+        if isinstance(expr, ast.Name):
+            bound = state.vars.get(expr.id)
+            if bound is not None and bound[0] == "key":
+                return bound[1]
+            if (
+                bound is not None
+                and bound[0] in ("list", "loopkey")
+                and len(bound[1]) == 1
+            ):
+                return next(iter(bound[1]))
+            return UNKNOWN
+        if isinstance(expr, ast.Call) and depth < 3:
+            env = self.program._param_env(fc.finfo)
+            try:
+                callees = self.program.resolve_call(expr, fc.finfo, env)
+            except KeyError:
+                callees = []
+            classes = set()
+            for callee in callees:
+                for sub in ast.walk(callee.node):
+                    if isinstance(sub, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                        if sub is not callee.node:
+                            continue
+                    if isinstance(sub, ast.Return) and sub.value is not None:
+                        classes.add(
+                            self._key_class(sub.value, _State(), fc, depth + 1)
+                        )
+            if len(classes) == 1:
+                return next(iter(classes))
+            return UNKNOWN
+        return UNKNOWN
+
+    def _classify_binding(
+        self, value: ast.expr, state: _State, fc: _FuncCtx
+    ) -> Optional[tuple]:
+        cls = self._key_class(value, state, fc)
+        if cls != UNKNOWN:
+            return ("key", cls)
+        lst = self._keylist(value, state, fc)
+        if lst is not None:
+            return ("list",) + lst
+        return None
+
+    def _keylist(
+        self, expr: ast.expr, state: _State, fc: _FuncCtx
+    ) -> Optional[Tuple[FrozenSet[Tuple[str, bool]], bool]]:
+        """``(lock classes, ordered)`` of a key-sequence expression."""
+        if isinstance(expr, ast.Call) and isinstance(expr.func, ast.Name):
+            name = expr.func.id
+            if name == "sorted" and expr.args:
+                inner = self._elem_classes(expr.args[0], state, fc)
+                if inner is not None:
+                    return (inner, True)
+                return None
+            if name in ("reversed", "list", "tuple", "set") and expr.args:
+                inner = self._keylist(expr.args[0], state, fc)
+                if inner is not None:
+                    return (inner[0], False)
+                elems = self._elem_classes(expr.args[0], state, fc)
+                if elems is not None:
+                    return (elems, False)
+                return None
+            return None
+        if isinstance(expr, ast.Name):
+            bound = state.vars.get(expr.id)
+            if bound is not None and bound[0] in ("list", "loopkey"):
+                return (bound[1], bound[2])
+            return None
+        elems = self._elem_classes(expr, state, fc)
+        if elems is not None:
+            return (elems, False)
+        return None
+
+    def _elem_classes(
+        self, expr: ast.expr, state: _State, fc: _FuncCtx
+    ) -> Optional[FrozenSet[Tuple[str, bool]]]:
+        if isinstance(expr, (ast.List, ast.Set, ast.Tuple)):
+            if not expr.elts:
+                return None
+            return frozenset(
+                self._key_class(elt, state, fc) for elt in expr.elts
+            )
+        if isinstance(expr, (ast.SetComp, ast.ListComp, ast.GeneratorExp)):
+            return frozenset({self._key_class(expr.elt, _State(), fc)})
+        if isinstance(expr, ast.Name):
+            bound = state.vars.get(expr.id)
+            if bound is not None and bound[0] in ("list", "loopkey"):
+                return bound[1]
+        return None
+
+    # -- control flow helpers --------------------------------------------
+    def _exec_for(self, node: ast.For, cur: _State, fc: _FuncCtx) -> Optional[_State]:
+        lst = self._keylist(node.iter, cur, fc)
+        entry = cur.copy()
+        body_state = cur.copy()
+        if lst is not None and isinstance(node.target, ast.Name):
+            body_state.vars[node.target.id] = ("loopkey", lst[0], lst[1])
+        out = self._exec_block(node.body, body_state, fc)
+        if node.orelse:
+            self._exec_block(node.orelse, (out or entry).copy(), fc)
+        if out is None:
+            return entry
+        if lst is not None:
+            # A recognized key sequence is assumed to drain fully: a
+            # net-acquiring loop leaves MANY held, a net-releasing loop
+            # leaves none (the canonical acquire-all/release-all shape).
+            post = entry
+            for cls in set(entry.held) | set(out.held):
+                before = entry.held.get(cls, 0)
+                after = out.held.get(cls, 0)
+                if after > before:
+                    post.held[cls] = _MANY
+                elif after < before:
+                    post.held[cls] = 0
+            post.crit = max(entry.crit, out.crit)
+            return post
+        return self._merge(entry, out)
+
+    def _merge(self, a: _State, b: _State) -> _State:
+        out = _State()
+        out.crit = max(a.crit, b.crit)
+        for cls in set(a.held) | set(b.held):
+            n = max(a.held.get(cls, 0), b.held.get(cls, 0))
+            if n:
+                out.held[cls] = n
+        out.vars = {k: v for k, v in a.vars.items() if b.vars.get(k) == v}
+        return out
+
+
+# ======================================================================
+# Findings accumulator (dedupe + deferred waiver application)
+# ======================================================================
+class _Findings:
+    def __init__(self) -> None:
+        self.items: List[Tuple[str, int, str, str]] = []
+        self._seen: Set[Tuple[str, int, str]] = set()
+
+    def add(self, path: str, line: int, rule: str, message: str) -> None:
+        key = (path, line, rule)
+        if key in self._seen:
+            return
+        self._seen.add(key)
+        self.items.append((path, line, rule, message))
+
+
+# ======================================================================
+# Lock-cycle detection
+# ======================================================================
+def _lock_cycles(graph: LockGraph, waivers: WaiverSet, findings: _Findings) -> None:
+    """Report every cycle of the may-hold-while-acquiring relation that
+    is not fully covered by the sorted-key discipline.  A waiver on any
+    in-cycle edge breaks that edge out of the graph (arch-style loop)."""
+    while True:
+        consumed = False
+        for scc in _sccs(graph):
+            for edge in graph.edges:
+                if edge.waived or edge.ordered:
+                    continue
+                if edge.src in scc and edge.dst in scc:
+                    waiver = waivers.consume(edge.path, edge.line)
+                    if waiver is not None:
+                        edge.waived = True
+                        consumed = True
+        if not consumed:
+            break
+    for scc in _sccs(graph):
+        in_cycle = [
+            e
+            for e in graph.edges
+            if not e.waived and e.src in scc and e.dst in scc
+        ]
+        unordered = [e for e in in_cycle if not e.ordered]
+        if not unordered:
+            continue  # all edges follow the one global sorted order
+        anchor = min(unordered, key=lambda e: (e.path, e.line))
+        evidence = "; ".join(
+            e.render() for e in sorted(in_cycle, key=lambda e: (e.src, e.dst))
+        )
+        findings.add(
+            anchor.path,
+            anchor.line,
+            "lock-cycle",
+            "lock-order cycle in the may-hold-while-acquiring relation: "
+            f"{evidence} — acquire multi-lock sets in sorted(key) order "
+            "or add '# conc: allow[reason]'",
+        )
+
+
+def _sccs(graph: LockGraph) -> List[List[str]]:
+    """SCCs with a cycle: size > 1, or a single node with a self-edge."""
+    succ: Dict[str, List[str]] = {p: [] for p in graph.nodes}
+    self_loops: Set[str] = set()
+    for e in graph.edges:
+        if e.waived:
+            continue
+        if e.src == e.dst:
+            self_loops.add(e.src)
+        else:
+            succ.setdefault(e.src, []).append(e.dst)
+            succ.setdefault(e.dst, [])
+    index: Dict[str, int] = {}
+    low: Dict[str, int] = {}
+    on_stack: Dict[str, bool] = {}
+    stack: List[str] = []
+    sccs: List[List[str]] = []
+    counter = [0]
+
+    def strongconnect(v: str) -> None:
+        work = [(v, iter(succ[v]))]
+        index[v] = low[v] = counter[0]
+        counter[0] += 1
+        stack.append(v)
+        on_stack[v] = True
+        while work:
+            node, it = work[-1]
+            advanced = False
+            for w in it:
+                if w not in index:
+                    index[w] = low[w] = counter[0]
+                    counter[0] += 1
+                    stack.append(w)
+                    on_stack[w] = True
+                    work.append((w, iter(succ[w])))
+                    advanced = True
+                    break
+                elif on_stack.get(w):
+                    low[node] = min(low[node], index[w])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                low[parent] = min(low[parent], low[node])
+            if low[node] == index[node]:
+                scc = []
+                while True:
+                    w = stack.pop()
+                    on_stack[w] = False
+                    scc.append(w)
+                    if w == node:
+                        break
+                if len(scc) > 1:
+                    sccs.append(sorted(scc))
+
+    for v in sorted(succ):
+        if v not in index:
+            strongconnect(v)
+    covered = {p for scc in sccs for p in scc}
+    for p in sorted(self_loops - covered):
+        sccs.append([p])
+    return sorted(sccs)
+
+
+# ======================================================================
+# Signal-placement pass
+# ======================================================================
+def _signal_pass(
+    program: costflow.Program,
+    trees: Dict[str, ast.AST],
+    manifest: Sequence[Tuple[str, Sequence[str]]],
+    signal_layers: Dict[str, str],
+    findings: _Findings,
+) -> int:
+    layer_rank = {layer: rank for rank, (layer, _p) in enumerate(manifest)}
+    sites = 0
+    for name in sorted(program.modules):
+        mod = program.modules[name]
+        ranked = classify(name, manifest)
+        mod_rank = ranked[0] if ranked is not None else None
+        for func_node in _all_function_nodes(trees[name]):
+            signal_names = _signal_locals(func_node)
+            sites += _scan_signal_fires(
+                func_node,
+                signal_names,
+                mod,
+                mod_rank,
+                layer_rank,
+                signal_layers,
+                findings,
+            )
+    return sites
+
+
+def _all_function_nodes(tree: ast.AST) -> List[ast.AST]:
+    return [
+        node
+        for node in ast.walk(tree)
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+    ]
+
+
+def _signal_locals(func_node: ast.AST) -> Set[str]:
+    """Local names bound from an expression that reads ``block_signal``."""
+    names: Set[str] = set()
+    for sub in ast.walk(func_node):
+        if isinstance(sub, ast.Assign):
+            reads_signal = any(
+                isinstance(part, ast.Attribute) and part.attr == "block_signal"
+                for part in ast.walk(sub.value)
+            )
+            if reads_signal:
+                for tgt in sub.targets:
+                    if isinstance(tgt, ast.Name):
+                        names.add(tgt.id)
+    return names
+
+
+def _is_signal_receiver(recv: ast.expr, signal_names: Set[str]) -> bool:
+    if isinstance(recv, ast.Attribute) and recv.attr == "block_signal":
+        return True
+    if isinstance(recv, ast.Name) and recv.id in signal_names:
+        return True
+    return False
+
+
+def _scan_signal_fires(
+    func_node: ast.AST,
+    signal_names: Set[str],
+    mod: costflow.ModuleInfo,
+    mod_rank: Optional[int],
+    layer_rank: Dict[str, int],
+    signal_layers: Dict[str, str],
+    findings: _Findings,
+) -> int:
+    sites = 0
+
+    def walk(node: ast.AST, guards: List[str]) -> None:
+        nonlocal sites
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            if node is not func_node:
+                return  # nested defs get their own scan
+        if isinstance(node, ast.If):
+            test = node.test
+            guard = None
+            if (
+                isinstance(test, ast.Compare)
+                and len(test.ops) == 1
+                and isinstance(test.ops[0], ast.IsNot)
+                and isinstance(test.comparators[0], ast.Constant)
+                and test.comparators[0].value is None
+            ):
+                guard = ast.unparse(test.left)
+            for child in node.body:
+                walk(child, guards + [guard] if guard else guards)
+            for child in node.orelse:
+                walk(child, guards)
+            return
+        if isinstance(node, ast.Call):
+            f = node.func
+            if (
+                isinstance(f, ast.Attribute)
+                and f.attr == "note"
+                and _is_signal_receiver(f.value, signal_names)
+            ):
+                sites += 1
+                recv_src = ast.unparse(f.value)
+                if recv_src not in guards:
+                    findings.add(
+                        mod.path,
+                        node.lineno,
+                        "signal-unguarded",
+                        f"BlockSignal fire {recv_src}.note(...) is not "
+                        f"under an '{recv_src} is not None' guard — "
+                        "sequential runs must stay one-attribute-read "
+                        "cheap; guard it or add '# conc: allow[reason]'",
+                    )
+                kind = None
+                if node.args and isinstance(node.args[0], ast.Constant):
+                    if isinstance(node.args[0].value, str):
+                        kind = node.args[0].value
+                if kind is not None and mod_rank is not None:
+                    owner = signal_layers.get(kind)
+                    owner_rank = layer_rank.get(owner) if owner else None
+                    if owner is None:
+                        findings.add(
+                            mod.path,
+                            node.lineno,
+                            "signal-misplaced",
+                            f"BlockSignal kind {kind!r} has no owning "
+                            "layer in the signal manifest — register it "
+                            "in repro.check.conc.SIGNAL_LAYERS",
+                        )
+                    elif owner_rank is not None and mod_rank < owner_rank:
+                        findings.add(
+                            mod.path,
+                            node.lineno,
+                            "signal-misplaced",
+                            f"BlockSignal kind {kind!r} belongs to layer "
+                            f"{owner!r} or below, but {mod.name} sits "
+                            "above it — a layer may only report blocking "
+                            "points it owns; move the fire or add "
+                            "'# conc: allow[reason]'",
+                        )
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            walk(child, guards)
+
+    for stmt in getattr(func_node, "body", []):
+        walk(stmt, [])
+    return sites
+
+
+# ======================================================================
+# Session-purity pass
+# ======================================================================
+def _purity_pass(
+    program: costflow.Program,
+    findings: _Findings,
+    state_classes: FrozenSet[str],
+    sinks: FrozenSet[Tuple[str, str]],
+    entries: Sequence[Tuple[str, str]],
+) -> int:
+    # Populate call edges (reuses costflow's typed-or-nothing walker).
+    for func in program.functions.values():
+        walker = costflow._BodyWalker(program, func, ())
+        for stmt in getattr(func.node, "body", []):
+            walker.visit(stmt)
+
+    def class_method(func: costflow.FuncInfo) -> Optional[Tuple[str, str]]:
+        if func.class_key is None:
+            return None
+        cls = program.classes.get(func.class_key)
+        if cls is None:
+            return None
+        return (cls.name, func.qualname.rsplit(".", 1)[-1])
+
+    roots = [
+        f
+        for f in program.functions.values()
+        if class_method(f) in set(entries)
+    ]
+    parent: Dict[str, Optional[str]] = {}
+    queue = []
+    for root in sorted(roots, key=lambda f: f.key):
+        if root.key not in parent:
+            parent[root.key] = None
+            queue.append(root.key)
+    while queue:
+        key = queue.pop(0)
+        func = program.functions.get(key)
+        if func is None:
+            continue
+        for callee in sorted(func.calls):
+            if callee not in parent:
+                parent[callee] = key
+                queue.append(callee)
+
+    def chain(key: str) -> str:
+        parts = []
+        cur: Optional[str] = key
+        while cur is not None:
+            parts.append(cur)
+            cur = parent.get(cur)
+        return " -> ".join(reversed(parts))
+
+    for key in sorted(parent):
+        func = program.functions.get(key)
+        if func is None:
+            continue
+        cm = class_method(func)
+        if cm is not None and cm in sinks:
+            continue
+        if func.qualname == "__init__" or func.qualname.endswith(".__init__"):
+            continue  # constructing state is not mutating shared state
+        env = program._param_env(func)
+        for sub in ast.walk(func.node):
+            target = None
+            if isinstance(sub, ast.Assign) and sub.targets:
+                target = sub.targets[0]
+            elif isinstance(sub, (ast.AugAssign, ast.AnnAssign)):
+                target = sub.target
+            if not isinstance(target, ast.Attribute):
+                continue
+            direct, _elems = program._eval(target.value, func, env)
+            hit = sorted(
+                program.classes[k].name
+                for k in direct
+                if k in program.classes
+                and program.classes[k].name in state_classes
+            )
+            if hit:
+                findings.add(
+                    func.path,
+                    sub.lineno,
+                    "conc-impure",
+                    f"{func.key} mutates {hit[0]}.{target.attr} but is "
+                    "reachable from a session "
+                    f"(chain: {chain(key)}) and is not in the conc sink "
+                    "set — route the mutation through a sink or add "
+                    "'# conc: allow[reason]'",
+                )
+    return len(parent)
+
+
+# ======================================================================
+# Analysis driver
+# ======================================================================
+def analyze(
+    root: Optional[str] = None,
+    package: str = "repro",
+    manifest: Sequence[Tuple[str, Sequence[str]]] = LAYER_MANIFEST,
+    signal_layers: Optional[Dict[str, str]] = None,
+    state_classes: FrozenSet[str] = STATE_CLASS_NAMES,
+    sinks: FrozenSet[Tuple[str, str]] = SINK_METHODS,
+    entries: Sequence[Tuple[str, str]] = ENTRY_METHODS,
+) -> ConcReport:
+    root = root or repo_root()
+    layers = dict(SIGNAL_LAYERS if signal_layers is None else signal_layers)
+    program = costflow.Program(package)
+    waivers = WaiverSet(tool="conc")
+    trees: Dict[str, ast.AST] = {}
+    for full, rel in _walk_repo(root):
+        with open(full, "rb") as fh:
+            source = fh.read()
+        module = _module_name(rel, package)
+        tree = ast.parse(source, filename=full)
+        trees[module] = tree
+        program.index_module(module, full, tree)
+        scan_waivers(full, source, "conc", waivers)
+    program.link_hierarchy()
+    program.type_attributes()
+
+    report = ConcReport()
+    report.functions = len(program.functions)
+    findings = _Findings()
+
+    # Pass 1+2: lock graph + yield discipline (one interpretation).
+    analyzer = _LockAnalyzer(program, report.lock_graph, findings)
+    for func in sorted(program.functions.values(), key=lambda f: (f.path, f.line)):
+        analyzer.run(func)
+    report.acquire_sites = analyzer.acquire_sites
+
+    # Pass 3: signal placement.
+    report.signal_sites = _signal_pass(program, trees, manifest, layers, findings)
+
+    # Pass 4: session purity.
+    report.reachable = _purity_pass(
+        program, findings, state_classes, sinks, entries
+    )
+
+    # Lock-order cycles (waiver-aware, arch-style edge breaking).
+    _lock_cycles(report.lock_graph, waivers, findings)
+
+    # Waivers apply to every remaining finding by (path, line).
+    for path, line, rule, message in findings.items:
+        if rule != "lock-cycle":  # cycle waivers consumed edge-wise above
+            waiver = waivers.consume(path, line)
+            if waiver is not None:
+                continue
+        report.violations.append(Violation(path, line, rule, message))
+
+    # Waiver hygiene.
+    for waiver in waivers.empty_reason():
+        report.violations.append(
+            Violation(
+                waiver.path,
+                waiver.line,
+                "unused-waiver",
+                "conc waiver has an empty justification — say *why* the "
+                "discipline exception is sound",
+            )
+        )
+    for waiver in waivers.unused():
+        if not waiver.reason.strip():
+            continue
+        report.violations.append(
+            Violation(
+                waiver.path,
+                waiver.line,
+                "unused-waiver",
+                f"conc waiver allow[{waiver.reason}] suppresses nothing — "
+                "delete it (dead waivers mask future violations)",
+            )
+        )
+    report.waivers = [w.render() for w in waivers.used()]
+    report.violations.sort(key=lambda v: (v.path, v.line, v.rule))
+    return report
+
+
+def write_graph(report: ConcReport, prefix: str) -> List[str]:
+    """Write ``prefix.json`` + ``prefix.dot``; returns the paths."""
+    json_path, dot_path = f"{prefix}.json", f"{prefix}.dot"
+    with open(json_path, "w", encoding="utf-8") as fh:
+        json.dump(report.lock_graph.to_dict(), fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    with open(dot_path, "w", encoding="utf-8") as fh:
+        fh.write(report.lock_graph.to_dot())
+    return [json_path, dot_path]
+
+
+def load_baseline(path: str) -> Set[Tuple[str, str]]:
+    """Committed-baseline entries as ``(rule, path)`` pairs.
+
+    Baseline paths are repo-relative and matched as path suffixes, and
+    line numbers are not part of the key — so a committed baseline
+    survives checkouts at other prefixes and unrelated edits above the
+    finding."""
+    with open(path, "r", encoding="utf-8") as fh:
+        data = json.load(fh)
+    return {(f["rule"], f["path"]) for f in data.get("findings", [])}
+
+
+def _is_baselined(v: Violation, known: Set[Tuple[str, str]]) -> bool:
+    return any(
+        rule == v.rule and (v.path == bpath or v.path.endswith("/" + bpath))
+        for rule, bpath in known
+    )
+
+
+# ----------------------------------------------------------------------
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point used by ``python -m repro.check conc``."""
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.check conc",
+        description="Whole-program static concurrency analysis",
+    )
+    parser.add_argument("--graph-out", help="write PREFIX.json + PREFIX.dot")
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text", dest="fmt"
+    )
+    parser.add_argument(
+        "--baseline",
+        help="JSON baseline of known findings; fail only on new ones",
+    )
+    args = parser.parse_args(argv)
+    report = analyze()
+    if args.graph_out:
+        for path in write_graph(report, args.graph_out):
+            print(f"wrote {path}")
+    known: Set[Tuple[str, str]] = set()
+    if args.baseline:
+        try:
+            known = load_baseline(args.baseline)
+        except (OSError, ValueError) as exc:
+            print(f"repro.check conc: bad baseline: {exc}")
+            return 2
+    fresh = [v for v in report.violations if not _is_baselined(v, known)]
+    baselined = len(report.violations) - len(fresh)
+    if args.fmt == "json":
+        payload = report.to_dict()
+        payload["new_violations"] = len(fresh)
+        payload["baselined"] = baselined
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 1 if fresh else 0
+    for rendered in report.waivers:
+        print(f"waived: {rendered}")
+    for violation in fresh:
+        print(violation.render())
+    if fresh:
+        print(f"{len(fresh)} concurrency violation(s)")
+        return 1
+    graph = report.lock_graph
+    suffix = f", {baselined} baselined" if baselined else ""
+    print(
+        f"repro.check conc: clean "
+        f"({report.functions} functions, {report.acquire_sites} acquire "
+        f"site(s), {len(graph.nodes)} lock class(es), "
+        f"{len(graph.edges)} edge(s), {report.signal_sites} signal "
+        f"fire(s), {len(report.waivers)} waiver(s){suffix})"
+    )
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -435,11 +435,12 @@ def lint_paths(
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point used by ``python -m repro.check lint``.
 
-    A bare ``lint`` run composes three passes over ``src/repro``: the
+    A bare ``lint`` run composes four passes over ``src/repro``: the
     per-file purity lint, the :mod:`repro.check.arch` layer/import
-    analysis, and the :mod:`repro.check.costflow` must-charge analysis.
-    Explicit ``paths`` run only the per-file lint (the whole-program
-    analyses need the whole program).
+    analysis, the :mod:`repro.check.costflow` must-charge analysis, and
+    the :mod:`repro.check.conc` static concurrency analysis.  Explicit
+    ``paths`` run only the per-file lint (the whole-program analyses
+    need the whole program).
     """
     import argparse
 
@@ -507,6 +508,18 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 "call_edges": cost_report.call_edges,
                 "charging_functions": cost_report.charging_functions,
                 "sources_checked": cost_report.sources_checked,
+            }
+            from repro.check import conc  # arch: allow[CLI composes the analyses; lazy import keeps module load acyclic]
+
+            conc_report = conc.analyze()
+            violations.extend(conc_report.violations)
+            waivers.extend(conc_report.waivers)
+            extra["conc"] = {
+                "acquire_sites": conc_report.acquire_sites,
+                "lock_classes": len(conc_report.lock_graph.nodes),
+                "lock_edges": len(conc_report.lock_graph.edges),
+                "signal_sites": conc_report.signal_sites,
+                "reachable_from_session": conc_report.reachable,
             }
 
     violations.sort(key=lambda v: (v.path, v.line, v.rule))

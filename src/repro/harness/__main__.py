@@ -173,6 +173,13 @@ def main(argv=None) -> int:
         help="mt: ops per session (0 = split the scale's sequential "
         "op count across the sessions)",
     )
+    parser.add_argument(
+        "--verify-lock-graph",
+        action="store_true",
+        help="mt: cross-check every observed lock acquisition order "
+        "against the repro.check.conc static lock graph (exit 1 on "
+        "an uncovered pair)",
+    )
     parser.add_argument("--quiet", action="store_true")
     args = parser.parse_args(argv)
 
@@ -306,6 +313,28 @@ def _run_mt(args) -> int:
     if args.metrics_out:
         obs.write_metrics(args.metrics_out)
         print(f"metrics written to {args.metrics_out}", file=sys.stderr)
+    if args.verify_lock_graph:
+        from repro.check import conc
+
+        graph = conc.analyze().lock_graph
+        uncovered = [
+            (held, acquired)
+            for held, acquired in summary["lock_order"]
+            if not graph.covers(held, acquired)
+        ]
+        if uncovered:
+            for held, acquired in uncovered:
+                print(
+                    f"mt: lock order {held!r} -> {acquired!r} observed at "
+                    "runtime but absent from the static lock graph",
+                    file=sys.stderr,
+                )
+            return 1
+        print(
+            f"mt: lock graph verified — {len(summary['lock_order'])} "
+            "observed acquisition order(s) all covered statically",
+            file=sys.stderr,
+        )
     return 0
 
 

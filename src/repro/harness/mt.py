@@ -17,7 +17,8 @@ from typing import Dict, List
 from repro.workloads.scale import WorkloadScale
 
 #: Summary schema identifier; bump when the JSON shape changes.
-SCHEMA = "repro-mt v1"
+#: v2: added ``lock_order`` — observed (held, acquired) key pairs.
+SCHEMA = "repro-mt v2"
 
 #: Latency percentiles reported per session.
 PERCENTILES = (50.0, 99.0)
@@ -90,6 +91,9 @@ def run_mt(
             "acquisitions": sched.locks.acquisitions,
             "contentions": sched.locks.contentions,
         },
+        # Every runtime may-hold-while-acquiring order; must be covered
+        # by the repro.check.conc static lock graph (--verify-lock-graph).
+        "lock_order": [list(pair) for pair in sorted(sched.lock_order)],
         "fairness": {
             "jain_service": sched.jain_service(),
             "jain_ops": sched.jain_ops(),

@@ -31,7 +31,7 @@ another session observe a half-mutated tree, and must be impossible.
 from __future__ import annotations
 
 import random
-from typing import Any, Callable, Dict, Generator, List, Optional
+from typing import Any, Callable, Dict, Generator, List, Optional, Set, Tuple
 
 from repro.check.errors import SchedInvariantError, require
 from repro.sched.locks import LockTable
@@ -89,6 +89,10 @@ class Scheduler:
         self.rng = random.Random((seed & 0xFFFFFFFF) ^ _POLICY_STREAM)
         self.locks = LockTable()
         self.signal = BlockSignal()
+        #: Observed may-hold-while-acquiring pairs (held key, acquired
+        #: key) — cross-checked against the static lock graph computed
+        #: by ``repro.check.conc`` (``harness mt --verify-lock-graph``).
+        self.lock_order: Set[Tuple[str, str]] = set()
         self.sessions: List[Session] = []
         self.switches = 0
         self.dispatches = 0
@@ -169,6 +173,18 @@ class Scheduler:
         )
         session.state = READY
         session.runnable_since = self.clock.now
+
+    def note_lock_order(self, sid: int, key: str) -> None:
+        """Record the held->acquired pairs of one acquire attempt.
+
+        A pure observer on scheduler-private state: it reads the lock
+        table and grows a set, never the simulated clock, so recording
+        cannot perturb the interleaving (the mt byte-identity tests
+        pin this).
+        """
+        for held in self.locks.held_by(sid):
+            if held != key:
+                self.lock_order.add((held, key))
 
     def note_op_done(self, session: Session) -> None:
         now = self.clock.now

@@ -190,6 +190,7 @@ class SessionContext:
         deadlock freedom is the caller's obligation and the scheduler's
         all-blocked check is the backstop, not the design.
         """
+        self.sched.note_lock_order(self.sid, key)
         lock = self.sched.locks.get(key)
         if not lock.try_take(self.sid):
             lock.enqueue(self.sid)

@@ -1,0 +1,35 @@
+"""Fixture: the engine layer doing everything right — must stay clean.
+
+Fires its own layer's signal through the local-variable idiom (bind,
+guard, note), and keeps its critical section suspension-free with the
+try/finally shape the real tree uses.
+"""
+
+
+class _Env:
+    def __init__(self) -> None:
+        self.block_signal = None
+        self._depth = 0
+
+    def enter_critical(self) -> None:
+        self._depth += 1
+
+    def exit_critical(self) -> None:
+        self._depth -= 1
+
+
+class Engine:
+    def __init__(self) -> None:
+        self.env = _Env()
+
+    def flush(self) -> None:
+        self.env.enter_critical()
+        try:
+            self.work()
+        finally:
+            self.env.exit_critical()
+
+    def work(self) -> None:
+        signal = self.env.block_signal
+        if signal is not None:
+            signal.note("tree_io")

@@ -1,0 +1,12 @@
+"""Fixture: a generator suspends inside a critical section.
+
+The tree must be quiescent at every session switch; yielding between
+``enter_critical`` and ``exit_critical`` hands control to another
+session mid-flush.  Exactly one ``critical-yield``.
+"""
+
+
+def flusher(env):
+    env.enter_critical()
+    yield "tick"
+    env.exit_critical()

@@ -1,0 +1,20 @@
+"""Fixture: two scripts acquire the same two locks in opposite orders.
+
+The may-hold-while-acquiring relation gains ``order:a -> order:b`` and
+``order:b -> order:a``; neither edge follows the sorted-key loop
+discipline, so conc must report exactly one ``lock-cycle`` here.
+"""
+
+
+def ab(ctx):
+    yield from ctx.acquire("order:a")
+    yield from ctx.acquire("order:b")
+    ctx.release("order:b")
+    ctx.release("order:a")
+
+
+def ba(ctx):
+    yield from ctx.acquire("order:b")
+    yield from ctx.acquire("order:a")
+    ctx.release("order:a")
+    ctx.release("order:b")

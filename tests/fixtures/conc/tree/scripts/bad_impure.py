@@ -1,0 +1,23 @@
+"""Fixture: session-reachable code mutates scheduler-global state.
+
+``SessionContext.run`` reaches ``_cheat`` through the typed call graph,
+and ``_cheat`` assigns a ``Scheduler`` attribute outside the sink set.
+Exactly one ``conc-impure``.
+"""
+
+
+class Scheduler:
+    def __init__(self) -> None:
+        self.switches = 0
+
+
+class SessionContext:
+    def __init__(self, sched: Scheduler) -> None:
+        self.sched = sched
+
+    def run(self, fn):
+        self._cheat()
+        return fn()
+
+    def _cheat(self) -> None:
+        self.sched.switches = 99

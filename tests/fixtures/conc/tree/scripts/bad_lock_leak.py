@@ -1,0 +1,12 @@
+"""Fixture: an early return exits still holding a session lock.
+
+Every ``ctx.acquire`` must dominate a matching ``ctx.release`` on all
+non-exception exits.  Exactly one ``lock-leak`` (at the bare return).
+"""
+
+
+def leaky(ctx, flag: bool):
+    yield from ctx.acquire("leak:1")
+    if flag:
+        return
+    ctx.release("leak:1")

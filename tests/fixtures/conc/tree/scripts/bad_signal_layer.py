@@ -1,0 +1,17 @@
+"""Fixture: a scripts-layer module fires the engine layer's signal.
+
+``tree_io`` belongs to the ``engine`` layer (see the signal manifest in
+the test); firing it from the layer above means the scripts layer is
+reporting a blocking point it cannot know about.  Exactly one
+``signal-misplaced`` (the guard is correct, so no ``signal-unguarded``).
+"""
+
+
+class Node:
+    def __init__(self) -> None:
+        self.block_signal = None
+
+
+def flush(node: Node) -> None:
+    if node.block_signal is not None:
+        node.block_signal.note("tree_io")

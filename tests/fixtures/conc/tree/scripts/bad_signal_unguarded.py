@@ -1,0 +1,12 @@
+"""Fixture: a BlockSignal fire without the ``is None`` fast path.
+
+Sequential (unscheduled) runs must pay exactly one attribute read per
+potential blocking point; an unguarded ``.note(...)`` would raise on
+the ``None`` signal outside scheduled runs.  Exactly one
+``signal-unguarded`` (``fsync`` is owned by this layer, so no
+``signal-misplaced``).
+"""
+
+
+def pulse(sink) -> None:
+    sink.block_signal.note("fsync")

@@ -1,0 +1,15 @@
+"""Fixture: a multi-lock loop over an *unsorted* key sequence.
+
+The keys cannot be classified statically (wildcard class ``*``) and the
+loop does not iterate ``sorted(...)``, so the self-edge ``* -> *`` is
+out of discipline: exactly one ``lock-cycle``.
+"""
+
+
+def swap(ctx, first: str, second: str):
+    keys = [first, second]
+    for key in keys:
+        yield from ctx.acquire(key)
+    yield "swap"
+    for key in keys:
+        ctx.release(key)

@@ -1,0 +1,35 @@
+"""Fixture: a deliberately deadlocking two-lock workload.
+
+Two session scripts take ``alpha`` and ``beta`` in opposite orders with
+a real blocking point (write + fsync) in between, so under the FIFO
+policy the sessions interleave and end up each waiting on the other's
+lock.  This file is used twice by ``tests/test_conc.py``:
+
+* statically — ``repro.check.conc`` reports the ``alpha``/``beta``
+  cycle as exactly one ``lock-cycle``;
+* dynamically — the module is imported and scheduled against a real
+  mount, and the scheduler's all-blocked invariant raises
+  ``SchedInvariantError`` on the same scripts.
+
+One fixture, both checkers: the test pins that they agree.
+"""
+
+SPOOL = "/spool/deadlock.tmp"
+
+
+def forward(ctx, vfs):
+    yield from ctx.acquire("alpha")
+    yield from ctx.run(vfs.write, SPOOL, 0, b"f")
+    yield from ctx.run(vfs.fsync, SPOOL)
+    yield from ctx.acquire("beta")
+    ctx.release("beta")
+    ctx.release("alpha")
+
+
+def backward(ctx, vfs):
+    yield from ctx.acquire("beta")
+    yield from ctx.run(vfs.write, SPOOL, 0, b"b")
+    yield from ctx.run(vfs.fsync, SPOOL)
+    yield from ctx.acquire("alpha")
+    ctx.release("alpha")
+    ctx.release("beta")

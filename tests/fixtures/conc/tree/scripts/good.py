@@ -1,0 +1,24 @@
+"""Fixture: everything done right — must stay clean.
+
+Sorted multi-lock acquisition through a key-building helper, balanced
+release on every exit, a suspension outside any critical section, and a
+properly guarded fire of a signal this layer owns.
+"""
+
+
+def _key(folder: int) -> str:
+    return f"g:{folder:02d}"
+
+
+def mover(ctx, first: int, second: int):
+    keys = sorted({_key(first), _key(second)})
+    for key in keys:
+        yield from ctx.acquire(key)
+    yield "work"
+    for key in reversed(keys):
+        ctx.release(key)
+
+
+def fire(sink) -> None:
+    if sink.block_signal is not None:
+        sink.block_signal.note("fsync")

@@ -1,0 +1,14 @@
+"""Fixture: waiver hygiene — both ``unused-waiver`` shapes.
+
+A waiver with an empty reason and a waiver that suppresses nothing are
+each errors (dead waivers would silently disable future findings).
+Exactly two ``unused-waiver`` violations.
+"""
+
+
+def idle() -> None:
+    return None  # conc: allow[]
+
+
+def also_idle() -> None:
+    return None  # conc: allow[nothing here ever triggers, so this waiver is dead]

@@ -1,0 +1,11 @@
+"""Fixture: a justified waiver suppresses exactly one finding.
+
+The early return *does* exit holding ``w:probe`` — a ``lock-leak`` —
+but the inline ``# conc: allow[...]`` on the flagged line consumes it.
+This file must produce no violations and exactly one used waiver.
+"""
+
+
+def probe(ctx):
+    yield from ctx.acquire("w:probe")
+    return  # conc: allow[fixture: ownership is handed off; the waiver test pins this]
