@@ -57,6 +57,7 @@ LAYER_MANIFEST: Tuple[Tuple[str, Tuple[str, ...]], ...] = (
     ("workloads", ("repro.workloads",)),
     ("crashmc", ("repro.crashmc",)),
     ("sched", ("repro.sched",)),
+    ("shard", ("repro.shard",)),
     ("checkers", ("repro.check",)),
     ("baselines", ("repro.baselines",)),
     ("betrfs", ("repro.betrfs",)),
@@ -149,7 +150,7 @@ class ArchReport:
             lines.append(f'  "{edge.src}" -> "{edge.dst}"{suffix};')
         # Legend: every manifest layer, top to bottom, whether or not
         # any analyzed module landed in it (so a fixture render still
-        # documents the full 16-layer stack, sched included).
+        # documents the full 17-layer stack, sched and shard included).
         legend = "\\l".join(layer for layer, _prefixes in LAYER_MANIFEST) + "\\l"
         lines.append("  subgraph cluster_legend {")
         lines.append('    label="layers (top to bottom)";')

@@ -104,6 +104,9 @@ SOURCE_FUNCS: FrozenSet[str] = frozenset(
         "decode_basement",
         "encode_payload",
         "decode_payload",
+        # repro.shard cross-shard intent records (two-phase protocol).
+        "pack_intent",
+        "unpack_intent",
     }
 )
 

@@ -562,3 +562,70 @@ def load_image(path: str) -> DeviceImage:
         meta_size=meta_size,
         aligned=bool(aligned),
     )
+
+
+# ----------------------------------------------------------------------
+# Per-volume fsck (repro.shard)
+# ----------------------------------------------------------------------
+class VolumeStore:
+    """Base-shifted view of one volume slot in a shared extent store.
+
+    A sharded mount (``repro.shard``) carves one device into N SFL
+    volume slots.  This adapter presents volume *i*'s
+    ``[base, base + size)`` byte range as a standalone image starting
+    at offset 0, so the unmodified :func:`fsck_device` walk checks
+    each volume exactly as it would a single-volume device.
+    """
+
+    def __init__(self, store: ExtentStore, base: int, size: int) -> None:
+        self.store = store
+        self.base = base
+        self.size = size
+
+    def read(self, offset: int, length: int) -> bytes:
+        return self.store.read(self.base + offset, length)
+
+    def write(self, offset: int, data: bytes) -> None:
+        self.store.write(self.base + offset, data)
+
+    def snapshot(self) -> List[Tuple[int, bytes]]:
+        out: List[Tuple[int, bytes]] = []
+        for off, data in self.store.snapshot():
+            lo = max(off, self.base)
+            hi = min(off + len(data), self.base + self.size)
+            if lo < hi:
+                out.append((lo - self.base, data[lo - off : hi - off]))
+        return out
+
+
+def fsck_volumes(
+    image: Union[BlockDevice, ExtentStore],
+    shards: int,
+    log_size: int,
+    meta_size: int,
+    volume_bytes: Optional[int] = None,
+    aligned: bool = False,
+) -> List[FsckReport]:
+    """fsck every volume slot of a (crash) image; one report each.
+
+    Device-wide FTL checks are skipped — the FTL belongs to the shared
+    device, not to any one volume slot.
+    """
+    if isinstance(image, BlockDevice):
+        store: ExtentStore = image.store
+        if volume_bytes is None:
+            volume_bytes = image.profile.capacity // shards
+    else:
+        store = image
+        if volume_bytes is None:
+            raise ValueError("volume_bytes is required for a bare store")
+    return [
+        fsck_device(
+            VolumeStore(store, i * volume_bytes, volume_bytes),
+            log_size=log_size,
+            meta_size=meta_size,
+            capacity=volume_bytes,
+            aligned=aligned,
+        )
+        for i in range(shards)
+    ]

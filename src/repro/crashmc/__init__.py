@@ -21,6 +21,8 @@ Pieces:
 * :mod:`repro.crashmc.explore` — :class:`CrashExplorer`: budget-split
   crash points, reboot + fsck + oracle per case, ``crashmc.*``
   metrics;
+* :mod:`repro.crashmc.shardmc` — the sharded (two-volume) stack and
+  the per-shard prefix oracle behind the ``xshard_rename`` workload;
 * :mod:`repro.crashmc.shrink` — 1-minimal reduction of failing plans
   and JSON repro files (``python -m repro.crashmc.shrink repro.json``
   replays one).
@@ -32,6 +34,7 @@ from repro.crashmc.explore import CrashExplorer, TortureSummary, run_case
 from repro.crashmc.oracle import Op, Oracle
 from repro.crashmc.plan import CrashPlan
 from repro.crashmc.schedule import enumerate_plans, media_plans
+from repro.crashmc.shardmc import ShardOracle, ShardedStack
 from repro.crashmc.shrink import (
     load_repro,
     replay_repro,
@@ -46,6 +49,8 @@ __all__ = [
     "CrashPlan",
     "Op",
     "Oracle",
+    "ShardOracle",
+    "ShardedStack",
     "TortureSummary",
     "WORKLOADS",
     "enumerate_plans",

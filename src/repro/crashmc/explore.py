@@ -148,6 +148,49 @@ class _Stack:
         else:  # pragma: no cover - workload bug
             raise ValueError(f"unknown op kind {op.kind!r}")
 
+    # -- reboot hooks (overridden by multi-volume stacks) --------------
+    def fsck_image(self, image: BlockDevice):
+        """Offline-check one crash image of this stack's layout."""
+        return fsck_device(
+            image, log_size=self.LOG_SIZE, meta_size=self.META_SIZE
+        )
+
+    def reboot(self, image: BlockDevice):
+        """Recover a full environment from the image; returns its
+        ``get`` callable for the oracle to probe."""
+        costs = CostModel()
+        env = KVEnv.open(
+            SimpleFileLayer(
+                image, costs, log_size=self.LOG_SIZE, meta_size=self.META_SIZE
+            ),
+            image.clock,
+            costs,
+            KernelAllocator(image.clock, costs),
+            explorer_config(),
+            log_size=self.LOG_SIZE,
+            meta_size=self.META_SIZE,
+            data_size=self.DATA_SIZE,
+        )
+        return env.get
+
+    def media_regions(self) -> List[tuple]:
+        """(base, size) regions the media-fault sweep may damage."""
+        layout = self.layout
+        return [
+            (layout.base, SUPERBLOCK_SIZE),
+            (layout.log_base, self.LOG_SIZE),
+            (layout.meta_base, self.META_SIZE),
+            (layout.data_base, min(self.DATA_SIZE, 4 * MIB)),
+        ]
+
+
+#: Per-workload overrides for the stack/oracle a workload runs on.
+#: Defaults (single-volume :class:`_Stack`, prefix :class:`Oracle`)
+#: apply when a workload has no entry; :mod:`repro.crashmc.shardmc`
+#: registers the multi-volume pair for the cross-shard workloads.
+STACK_FACTORIES: Dict[str, Callable[[], "_Stack"]] = {}
+ORACLE_FACTORIES: Dict[str, Callable[[], Oracle]] = {}
+
 
 def run_case(stack: _Stack, oracle: Oracle, plan: CrashPlan) -> CaseResult:
     """Materialize one crash image, fsck it, reboot, and judge."""
@@ -163,28 +206,13 @@ def run_case(stack: _Stack, oracle: Oracle, plan: CrashPlan) -> CaseResult:
     except ValueError:
         raise  # plan/device misuse is a caller bug, not a verdict
     try:
-        report = fsck_device(
-            image, log_size=stack.LOG_SIZE, meta_size=stack.META_SIZE
-        )
+        report = stack.fsck_image(image)
     except Exception as exc:  # fsck itself choked on the image
         return caught("exception", f"fsck raised {exc!r}")
     if not report.ok:
         return caught("fsck", "; ".join(report.errors[:3]))
     try:
-        costs = CostModel()
-        env = KVEnv.open(
-            SimpleFileLayer(
-                image, costs, log_size=stack.LOG_SIZE, meta_size=stack.META_SIZE
-            ),
-            image.clock,
-            costs,
-            KernelAllocator(image.clock, costs),
-            explorer_config(),
-            log_size=stack.LOG_SIZE,
-            meta_size=stack.META_SIZE,
-            data_size=stack.DATA_SIZE,
-        )
-        verdict = oracle.check(env.get)
+        verdict = oracle.check(stack.reboot(image))
     except Exception as exc:
         return caught("exception", f"recovery raised {exc!r}")
     if verdict.ok:
@@ -274,7 +302,12 @@ class CrashExplorer:
         self,
         seed: int,
         budget: int,
-        workloads: Sequence[str] = ("tokubench", "mailserver", "mailserver_mt"),
+        workloads: Sequence[str] = (
+            "tokubench",
+            "mailserver",
+            "mailserver_mt",
+            "xshard_rename",
+        ),
         exhaustive_k: int = 6,
         obs_clock: Optional[SimClock] = None,
     ) -> None:
@@ -385,12 +418,14 @@ class CrashExplorer:
     def _run_workload(self, name: str, budget: int) -> WorkloadReport:
         ops = WORKLOADS[name](self.seed)
         report = WorkloadReport(name=name, ops=len(ops))
+        stack_factory = STACK_FACTORIES.get(name, _Stack)
+        oracle_factory = ORACLE_FACTORIES.get(name, Oracle)
 
         media_quota = budget // self.MEDIA_SHARE
         plan_budget = budget - media_quota
 
         # Pass 1: count candidate plans per crash point.
-        counts = self._crash_points(_Stack(), name, ops, visit=None)
+        counts = self._crash_points(stack_factory(), name, ops, visit=None)
         report.points = len(counts)
         report.plans_enumerated = sum(counts)
         self._c_points.inc(len(counts))
@@ -401,8 +436,8 @@ class CrashExplorer:
         media_quota = budget - sum(quotas)  # plan-space shortfall -> media
 
         # Pass 2: re-run and explore each point's quota.
-        stack = _Stack()
-        oracle = Oracle()
+        stack = stack_factory()
+        oracle = oracle_factory()
         point_iter = iter(quotas)
 
         def visit(i: int, op: Op, epoch: Optional[int], plans: List[CrashPlan]):
@@ -421,13 +456,7 @@ class CrashExplorer:
         # flipped byte in the newest slot (valid-but-stale fallback,
         # reported) from a torn checkpoint write (legal, silent).
         if media_quota > 0:
-            layout = stack.layout
-            regions = [
-                (0, SUPERBLOCK_SIZE),
-                (layout.log_base, stack.LOG_SIZE),
-                (layout.meta_base, stack.META_SIZE),
-                (layout.data_base, min(stack.DATA_SIZE, 4 * MIB)),
-            ]
+            regions = stack.media_regions()
             rng = derive_rng(self.seed, f"{name}:media")
             plans = media_plans(
                 regions,

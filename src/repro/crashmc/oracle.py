@@ -31,7 +31,12 @@ from repro.core.messages import value_bytes
 #: Logical op kinds the oracle understands.  ``wflush`` pushes the WAL
 #: buffer to the device without a barrier (creates unflushed device
 #: writes at an op boundary) and has no logical effect.
-KINDS = ("insert", "delete", "range_delete", "patch", "sync", "checkpoint", "wflush")
+#: ``xrename`` moves ``key`` to ``end`` across shard volumes via the
+#: two-phase intent protocol (repro.shard); its mutation is atomic.
+KINDS = (
+    "insert", "delete", "range_delete", "patch", "sync", "checkpoint",
+    "wflush", "xrename",
+)
 
 
 @dataclass(frozen=True)
@@ -50,6 +55,8 @@ class Op:
             return self.kind
         if self.kind == "range_delete":
             return f"range_delete(t{self.tree}, {self.key!r}..{self.end!r})"
+        if self.kind == "xrename":
+            return f"xrename(t{self.tree}, {self.key!r} -> {self.end!r})"
         if self.kind == "patch":
             return f"patch(t{self.tree}, {self.key!r}, @{self.offset})"
         return f"{self.kind}(t{self.tree}, {self.key!r})"
@@ -82,6 +89,11 @@ def _apply(model: Dict[Tuple[int, bytes], bytes], op: Op) -> None:
         if len(base) < need:
             base = base + b"\x00" * (need - len(base))
         model[slot] = base[: op.offset] + data + base[op.offset + len(data):]
+    elif op.kind == "xrename":
+        # Atomic cross-shard move: either both halves or neither.
+        value = model.pop(slot, None)
+        if value is not None:
+            model[(op.tree, op.end)] = value
     # sync / checkpoint / wflush: no mutation.
 
 
@@ -106,6 +118,9 @@ class Oracle:
         """The op's mutation is now in flight (call before executing)."""
         if op.kind in ("insert", "delete", "patch"):
             self.touched.setdefault((op.tree, op.key), None)
+        elif op.kind == "xrename":
+            self.touched.setdefault((op.tree, op.key), None)
+            self.touched.setdefault((op.tree, op.end), None)
         elif op.kind == "range_delete":
             for slot in list(self.current()):
                 if slot[0] == op.tree and op.key <= slot[1] < op.end:

@@ -1,0 +1,247 @@
+"""Crash exploration over a sharded (multi-volume) stack.
+
+The single-volume oracle's atomic-prefix contract does not transfer
+to a sharded mount: each volume has its own WAL, so a crash may
+persist a *different* prefix of the pending ops on every shard.  The
+acceptable-state set becomes the product of per-shard prefixes —
+which is exactly what :class:`ShardOracle` enumerates — with one
+refinement for the two-phase protocol: a cross-shard ``xrename``
+whose intent record made the coordinator's durable prefix is rolled
+forward by recovery, so its whole effect appears or none of it does,
+and its internal syncs acknowledge the pending ops of the volumes it
+touched.
+
+:class:`ShardedStack` is the matching live stack: two SFL volume
+slots carved from one volatile-cache device, driven through the real
+:class:`~repro.shard.env.ShardedEnv`, fsck'd per volume, and rebooted
+through per-volume log replay plus
+:meth:`~repro.shard.env.ShardedEnv.resolve_intents`.
+
+Importing this module registers the pair for the ``xshard_rename``
+workload (see ``STACK_FACTORIES`` in :mod:`repro.crashmc.explore`).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.check.fsck import FsckReport, fsck_volumes
+from repro.core.env import KVEnv
+from repro.crashmc.explore import (
+    ORACLE_FACTORIES,
+    STACK_FACTORIES,
+    _Stack,
+    explorer_config,
+)
+from repro.crashmc.oracle import Op, Oracle, _apply
+from repro.device.block import BlockDevice
+from repro.device.clock import SimClock
+from repro.kmem.allocator import KernelAllocator
+from repro.model.costs import CostModel
+from repro.model.profiles import COMMODITY_SSD
+from repro.shard.env import ShardedEnv
+from repro.shard.map import ShardMap
+from repro.storage.sfl import SimpleFileLayer
+
+MIB = 1 << 20
+
+#: Op kinds with no mutation and no per-shard durability position.
+_UNGATED = ("sync", "checkpoint", "wflush")
+
+
+class ShardedStack(_Stack):
+    """Two SFL volumes on one volatile-cache device (repro.shard)."""
+
+    LOG_SIZE = 8 * MIB
+    META_SIZE = 32 * MIB
+    DATA_SIZE = 64 * MIB
+    SHARDS = 2
+    VOLUME_BYTES = 256 * MIB
+
+    def __init__(self) -> None:  # noqa: D401 - replaces _Stack wiring
+        self.clock = SimClock()
+        self.device = BlockDevice(
+            self.clock, COMMODITY_SSD, volatile_cache=True
+        )
+        costs = CostModel()
+        self.map = ShardMap.create(self.SHARDS, "hash")
+        self.layouts = []
+        envs: List[KVEnv] = []
+        for i in range(self.SHARDS):
+            storage = SimpleFileLayer(
+                self.device,
+                costs,
+                log_size=self.LOG_SIZE,
+                meta_size=self.META_SIZE,
+                base=i * self.VOLUME_BYTES,
+                capacity=(i + 1) * self.VOLUME_BYTES,
+            )
+            self.layouts.append(storage.layout)
+            envs.append(
+                KVEnv(
+                    storage,
+                    self.clock,
+                    costs,
+                    KernelAllocator(self.clock, costs),
+                    explorer_config(),
+                    log_size=self.LOG_SIZE,
+                    meta_size=self.META_SIZE,
+                    data_size=self.DATA_SIZE,
+                )
+            )
+        self.layout = self.layouts[0]
+        self.env = ShardedEnv(envs, self.map)
+
+    def apply(self, op: Op) -> None:
+        env = self.env
+        if op.kind == "xrename":
+            env.xrename(op.tree, op.key, op.end)
+        elif op.kind == "wflush":
+            env.wal_flush(durable=False)
+        elif op.kind == "insert":
+            env.insert(op.tree, op.key, op.value)
+        elif op.kind == "delete":
+            env.delete(op.tree, op.key)
+        elif op.kind == "range_delete":
+            env.range_delete(op.tree, op.key, op.end)
+        elif op.kind == "patch":
+            env.patch(op.tree, op.key, op.offset, op.value)
+        elif op.kind == "sync":
+            env.sync()
+        elif op.kind == "checkpoint":
+            env.checkpoint()
+        else:  # pragma: no cover - workload bug
+            raise ValueError(f"unknown op kind {op.kind!r}")
+
+    # -- reboot hooks --------------------------------------------------
+    def fsck_image(self, image: BlockDevice) -> FsckReport:
+        reports = fsck_volumes(
+            image,
+            self.SHARDS,
+            self.LOG_SIZE,
+            self.META_SIZE,
+            volume_bytes=self.VOLUME_BYTES,
+        )
+        combined = FsckReport()
+        for i, report in enumerate(reports):
+            combined.errors.extend(f"vol{i}: {e}" for e in report.errors)
+            combined.warnings.extend(
+                f"vol{i}: {w}" for w in report.warnings
+            )
+            combined.nodes_checked += report.nodes_checked
+            combined.trees_checked += report.trees_checked
+            combined.wal_entries += report.wal_entries
+        return combined
+
+    def reboot(self, image: BlockDevice):
+        costs = CostModel()
+        envs = []
+        for i in range(self.SHARDS):
+            envs.append(
+                KVEnv.open(
+                    SimpleFileLayer(
+                        image,
+                        costs,
+                        log_size=self.LOG_SIZE,
+                        meta_size=self.META_SIZE,
+                        base=i * self.VOLUME_BYTES,
+                        capacity=(i + 1) * self.VOLUME_BYTES,
+                    ),
+                    image.clock,
+                    costs,
+                    KernelAllocator(image.clock, costs),
+                    explorer_config(),
+                    log_size=self.LOG_SIZE,
+                    meta_size=self.META_SIZE,
+                    data_size=self.DATA_SIZE,
+                )
+            )
+        senv = ShardedEnv(envs, self.map)
+        senv.resolve_intents()
+        return senv.get
+
+    def media_regions(self) -> List[Tuple[int, int]]:
+        regions: List[Tuple[int, int]] = []
+        for layout in self.layouts:
+            regions.extend(
+                [
+                    (layout.base, 8 * MIB),
+                    (layout.log_base, self.LOG_SIZE),
+                    (layout.meta_base, self.META_SIZE),
+                    (layout.data_base, min(self.DATA_SIZE, 2 * MIB)),
+                ]
+            )
+        return regions
+
+
+@dataclass
+class ShardOracle(Oracle):
+    """Per-shard prefix oracle for the two-volume stack.
+
+    A recovered state is acceptable iff it equals the synced model
+    plus, for each shard independently, the first *k* of that shard's
+    pending mutations (applied in global begin order).  Soundness
+    leans on the workload keeping different shards' pending key sets
+    disjoint (fresh destination uids), so per-shard prefixes commute.
+    """
+
+    smap: ShardMap = field(
+        default_factory=lambda: ShardMap.create(2, "hash")
+    )
+
+    def _shard_of(self, op: Op) -> Optional[int]:
+        if op.kind in _UNGATED:
+            return None
+        # xrename gates on its *coordinator* (the source shard): the
+        # whole batch becomes certain exactly when the intent record
+        # enters the source WAL's durable prefix.
+        return self.smap.owner_of_key(op.key)
+
+    def commit(self, op: Op) -> None:
+        if op.kind in ("sync", "checkpoint"):
+            for pend in self.pending:
+                _apply(self.synced, pend)
+            self.pending.clear()
+        elif op.kind == "xrename":
+            # The protocol's internal syncs acknowledged everything
+            # already begun on the volumes it touched (intent sync on
+            # the source, apply sync on the destination).
+            acked = {
+                self.smap.owner_of_key(op.key),
+                self.smap.owner_of_key(op.end),
+            }
+            keep: List[Op] = []
+            for pend in self.pending:
+                shard = self._shard_of(pend)
+                if shard is None or shard in acked:
+                    _apply(self.synced, pend)
+                else:
+                    keep.append(pend)
+            self.pending = keep
+
+    def models(self) -> List[Dict[Tuple[int, bytes], bytes]]:
+        by_shard: Dict[int, List[int]] = {}
+        for i, op in enumerate(self.pending):
+            shard = self._shard_of(op)
+            if shard is not None:
+                by_shard.setdefault(shard, []).append(i)
+        shard_ids = sorted(by_shard)
+        out: List[Dict[Tuple[int, bytes], bytes]] = []
+        for lengths in itertools.product(
+            *(range(len(by_shard[s]) + 1) for s in shard_ids)
+        ):
+            applied = set()
+            for shard, k in zip(shard_ids, lengths):
+                applied.update(by_shard[shard][:k])
+            model = dict(self.synced)
+            for i, op in enumerate(self.pending):
+                if i in applied:
+                    _apply(model, op)
+            out.append(model)
+        return out
+
+
+STACK_FACTORIES["xshard_rename"] = ShardedStack
+ORACLE_FACTORIES["xshard_rename"] = ShardOracle

@@ -32,6 +32,7 @@ from typing import Callable, Dict, List
 from repro.core.env import DATA, META
 from repro.core.messages import PageFrame
 from repro.crashmc.oracle import Op
+from repro.shard.map import ShardMap
 
 
 def derive_rng(seed: int, label: str) -> random.Random:
@@ -174,10 +175,97 @@ def mailserver_mt_kv(seed: int) -> List[Op]:
     return ops
 
 
+def xshard_homes(smap: ShardMap) -> List[bytes]:
+    """One directory prefix per shard, pinned by probing the routing
+    function — deterministic, and stable as long as the map is."""
+    homes: List[bytes] = [b""] * smap.shards
+    missing = smap.shards
+    i = 0
+    while missing:
+        name = "dir%02d" % i
+        owner = smap.owner_of_entry(name + "/x")
+        if not homes[owner]:
+            homes[owner] = name.encode("ascii")
+            missing -= 1
+        i += 1
+    return homes
+
+
+def xshard_rename_kv(seed: int) -> List[Op]:
+    """Cross-shard rename torture (runs on the 2-volume shard stack).
+
+    Two directory homes pinned to different volumes; the mix delivers
+    into both, patches in place, and keeps moving messages across the
+    shard boundary with ``xrename`` — the two-phase intent protocol —
+    so crash points land before, inside, and after every phase.
+    Destinations use fresh uids, so no other pending op ever aliases
+    an in-flight move's keys (the per-shard prefix oracle relies on
+    this)."""
+    smap = ShardMap.create(2, "hash")
+    homes = xshard_homes(smap)
+    rng = derive_rng(seed, "xshard_rename")
+    ops: List[Op] = []
+    live: List[List[bytes]] = [[], []]
+    has_data: Dict[bytes, None] = {}
+    uid = 0
+
+    def deliver(side: int) -> None:
+        nonlocal uid
+        key = b"%s/%04d" % (homes[side], uid)
+        uid += 1
+        live[side].append(key)
+        ops.append(Op("insert", META, key, b"S=%d F=" % rng.randrange(9000)))
+        if rng.random() < 0.3:
+            has_data[key] = None
+            ops.append(
+                Op("insert", DATA, key, PageFrame(bytes([uid % 251]) * 4096))
+            )
+
+    for _ in range(6):
+        deliver(0)
+        deliver(1)
+    ops.append(Op("checkpoint"))
+
+    for step in range(70):
+        side = rng.randrange(2)
+        roll = rng.random()
+        if roll < 0.35 or not live[side]:
+            deliver(side)
+        elif roll < 0.60:  # move across the shard boundary
+            old = live[side].pop(rng.randrange(len(live[side])))
+            new = b"%s/x%04d" % (homes[1 - side], uid)
+            uid += 1
+            live[1 - side].append(new)
+            ops.append(Op("xrename", META, old, end=new))
+            if has_data.pop(old, 0) is None:
+                has_data[new] = None
+                ops.append(Op("xrename", DATA, old, end=new))
+        elif roll < 0.80:  # flag update in place
+            key = live[side][rng.randrange(len(live[side]))]
+            ops.append(Op("patch", META, key, b"RS", offset=0))
+            if rng.random() < 0.3:
+                ops.append(Op("sync"))
+        else:
+            key = live[side].pop(rng.randrange(len(live[side])))
+            has_data.pop(key, 0)
+            ops.append(Op("delete", META, key))
+        if step % 3 == 2:
+            ops.append(Op("wflush"))
+        if step % 12 == 11:
+            ops.append(Op("sync"))
+    # Unsynced tail: an in-flight cross-shard move at crash time.
+    deliver(0)
+    old = live[0].pop()
+    ops.append(Op("xrename", META, old, end=b"%s/x%04d" % (homes[1], uid)))
+    ops.append(Op("wflush"))
+    return ops
+
+
 #: Registry the explorer and the harness ``torture`` target iterate,
 #: in deterministic order.
 WORKLOADS: Dict[str, Callable[[int], List[Op]]] = {
     "tokubench": tokubench_kv,
     "mailserver": mailserver_kv,
     "mailserver_mt": mailserver_mt_kv,
+    "xshard_rename": xshard_rename_kv,
 }

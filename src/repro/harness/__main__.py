@@ -49,8 +49,10 @@ def main(argv=None) -> int:
         "saved device image, see repro.check.fsck; torture = "
         "systematic crash-state exploration, see repro.crashmc; "
         "bench = wall-clock benchmark suite emitting BENCH_*.json, "
-        "see repro.harness.bench; mt = multi-tenant mailserver under "
-        "the deterministic session scheduler, see repro.sched — "
+        "see repro.harness.bench; mt = a multi-tenant workload "
+        "(mailserver or webserver, optionally sharded over N volumes "
+        "with --shards) under the deterministic session scheduler, "
+        "see repro.sched and repro.shard — "
         "prints a byte-diffable JSON summary with per-session latency "
         "percentiles and fairness gauges)",
     )
@@ -172,6 +174,26 @@ def main(argv=None) -> int:
         default=0,
         help="mt: ops per session (0 = split the scale's sequential "
         "op count across the sessions)",
+    )
+    parser.add_argument(
+        "--shards",
+        type=int,
+        default=0,
+        help="mt: partition the namespace over N Bε-tree volumes "
+        "(repro.shard); 0 = the plain unsharded mount",
+    )
+    parser.add_argument(
+        "--shard-mode",
+        choices=["hash", "range"],
+        default="hash",
+        help="mt: shard-map partitioning mode (hash = crc32 of the "
+        "parent directory; range = lexicographic boundaries)",
+    )
+    parser.add_argument(
+        "--workload",
+        choices=["mailserver_mt", "webserver_mt"],
+        default="mailserver_mt",
+        help="mt: which multi-tenant workload to drive",
     )
     parser.add_argument(
         "--verify-lock-graph",
@@ -304,6 +326,9 @@ def _run_mt(args) -> int:
             seed=args.seed,
             policy=args.policy,
             ops_per_session=args.ops_per_session,
+            shards=args.shards,
+            mode=args.shard_mode,
+            workload=args.workload,
         )
         stats = obs.render_stats()
     print(to_json(summary), end="")

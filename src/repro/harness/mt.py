@@ -1,11 +1,12 @@
-"""``python -m repro.harness mt`` — the multi-tenant mailserver run.
+"""``python -m repro.harness mt`` — the multi-tenant scale-out runs.
 
-Drives :func:`repro.workloads.mailserver_mt.mailserver_mt` on a fresh
-BetrFS v0.6 mount and emits a deterministic JSON summary: sorted keys,
-no wall time, simulated quantities only, plus a sha256 over the final
-device image — so two same-seed runs can be byte-diffed in CI, and a
-one-session run can be checked bit-for-bit against the sequential
-benchmark.
+Drives a multi-tenant workload (``mailserver_mt`` or ``webserver_mt``)
+on a fresh BetrFS v0.6 mount — unsharded, or partitioned over N
+Bε-tree volumes with ``--shards N`` — and emits a deterministic JSON
+summary: sorted keys, no wall time, simulated quantities only, plus a
+sha256 over the final device image — so two same-seed runs can be
+byte-diffed in CI, and a one-session run can be checked bit-for-bit
+against the sequential benchmark.
 """
 
 from __future__ import annotations
@@ -18,7 +19,12 @@ from repro.workloads.scale import WorkloadScale
 
 #: Summary schema identifier; bump when the JSON shape changes.
 #: v2: added ``lock_order`` — observed (held, acquired) key pairs.
-SCHEMA = "repro-mt v2"
+#: v3: added ``workload`` and ``shards`` (count/mode/loads/imbalance/
+#: cross_renames), and per-session ``affinity``.
+SCHEMA = "repro-mt v3"
+
+#: Multi-tenant workloads ``run_mt`` can drive.
+MT_WORKLOADS = ("mailserver_mt", "webserver_mt")
 
 #: Latency percentiles reported per session.
 PERCENTILES = (50.0, 99.0)
@@ -40,15 +46,34 @@ def run_mt(
     seed: int = 11,
     policy: str = "fifo",
     ops_per_session: int = 0,
+    shards: int = 0,
+    mode: str = "hash",
+    workload: str = "mailserver_mt",
 ) -> Dict[str, object]:
-    """Run the workload and build the summary dict (JSON-ready)."""
+    """Run the workload and build the summary dict (JSON-ready).
+
+    ``shards=0`` mounts the plain (unsharded) filesystem; ``shards>=1``
+    mounts :class:`~repro.shard.mount.ShardedBetrFS` with that many
+    volume slots under ``mode`` partitioning.
+    """
     from repro.betrfs.filesystem import make_betrfs
     from repro.workloads.mailserver_mt import mailserver_mt
+    from repro.workloads.webserver_mt import webserver_mt
 
+    if workload not in MT_WORKLOADS:
+        raise KeyError(
+            f"unknown mt workload {workload!r}; choose from {MT_WORKLOADS}"
+        )
+    run_workload = mailserver_mt if workload == "mailserver_mt" else webserver_mt
     if ops_per_session <= 0:
         ops_per_session = max(1, scale.mail_ops // sessions)
-    fs = make_betrfs("BetrFS v0.6")
-    sched = mailserver_mt(
+    if shards > 0:
+        from repro.shard.mount import make_sharded_betrfs
+
+        fs = make_sharded_betrfs("BetrFS v0.6", shards=shards, mode=mode)
+    else:
+        fs = make_betrfs("BetrFS v0.6")
+    sched = run_workload(
         fs,
         scale,
         sessions=sessions,
@@ -65,6 +90,7 @@ def run_mt(
         per_session.append(
             {
                 "name": s.name,
+                "affinity": s.affinity,
                 "ops": s.ops,
                 "p50_seconds": s.percentile(PERCENTILES[0]),
                 "p99_seconds": s.percentile(PERCENTILES[1]),
@@ -74,12 +100,23 @@ def run_mt(
                 "blocks": {k: s.blocks[k] for k in sorted(s.blocks)},
             }
         )
+    shard_summary = None
+    if shards > 0:
+        shard_summary = {
+            "count": fs.shards,
+            "mode": mode,
+            "loads": list(fs.backend.loads),
+            "imbalance": fs.load_imbalance(),
+            "cross_renames": fs.backend.cross_renames,
+        }
     return {
         "schema": SCHEMA,
+        "workload": workload,
         "scale": scale.name,
         "sessions": sessions,
         "seed": seed,
         "policy": policy,
+        "shards": shard_summary,
         "ops": ops,
         "ops_per_session": ops_per_session,
         "sim_seconds": elapsed,
@@ -113,7 +150,7 @@ def render_fairness(summary: Dict[str, object]) -> str:
     """Short human-readable fairness report (stderr companion)."""
     fair = summary["fairness"]
     lines = [
-        f"mt: {summary['sessions']} sessions x "
+        f"mt: {summary['workload']} {summary['sessions']} sessions x "
         f"{summary['ops_per_session']} ops "
         f"(policy={summary['policy']}, seed={summary['seed']})",
         f"  ops={summary['ops']} sim={summary['sim_seconds']:.3f}s "
@@ -124,6 +161,14 @@ def render_fairness(summary: Dict[str, object]) -> str:
         f"jain(ops)={fair['jain_ops']:.4f} "
         f"max wait={fair['max_wait_seconds'] * 1e3:.2f}ms",
     ]
+    shards = summary.get("shards")
+    if shards:
+        lines.append(
+            f"  shards={shards['count']} ({shards['mode']}) "
+            f"loads={shards['loads']} "
+            f"imbalance={shards['imbalance']:.2f} "
+            f"cross renames={shards['cross_renames']}"
+        )
     worst = max(
         summary["per_session"],
         key=lambda s: s["p99_seconds"],

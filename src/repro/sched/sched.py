@@ -147,11 +147,17 @@ class Scheduler:
         name: str,
         script: Callable[[SessionContext], Generator[Blocked, None, None]],
         tickets: int = 1,
+        affinity: Optional[int] = None,
     ) -> Session:
-        """Create a session from a script factory ``script(ctx)``."""
+        """Create a session from a script factory ``script(ctx)``.
+
+        ``affinity`` tags the session with its home shard on a sharded
+        mount; the dispatcher ignores it (accounting only).
+        """
         sid = len(self.sessions)
         ctx = SessionContext(sid, self)
         session = Session(sid, name, ctx)
+        session.affinity = affinity
         ctx.session = session
         session.gen = script(ctx)
         self.sessions.append(session)

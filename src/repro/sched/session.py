@@ -112,6 +112,9 @@ class Session:
         self.ctx = ctx
         self.gen: Optional[Generator[Blocked, None, None]] = None
         self.state = READY
+        #: Shard this session's home directory routes to (``None`` on an
+        #: unsharded mount) — pure accounting, never read by dispatch.
+        self.affinity: Optional[int] = None
         #: Simulated instant this session last became runnable.
         self.runnable_since = 0.0
         #: Completion instant of the previous logical op (latency base).

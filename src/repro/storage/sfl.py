@@ -50,14 +50,18 @@ class ImageLayout:
     log_size: int
     meta_size: int
     capacity: int = 0
+    #: Device offset of this volume's slot 0.  Non-zero when several
+    #: SFL volumes share one device (``repro.shard``): volume *i* is
+    #: carved at ``i * volume_bytes`` and owns ``[base, capacity)``.
+    base: int = 0
 
     @property
     def log_base(self) -> int:
-        return SUPERBLOCK_SIZE
+        return self.base + SUPERBLOCK_SIZE
 
     @property
     def meta_base(self) -> int:
-        return SUPERBLOCK_SIZE + self.log_size
+        return self.base + SUPERBLOCK_SIZE + self.log_size
 
     @property
     def data_base(self) -> int:
@@ -69,7 +73,7 @@ class ImageLayout:
 
     def file_base(self, name: str) -> int:
         return {
-            "superblock": 0,
+            "superblock": self.base,
             "log": self.log_base,
             "meta.db": self.meta_base,
             "data.db": self.data_base,
@@ -91,18 +95,23 @@ class SimpleFileLayer(Southbound):
         costs: CostModel,
         log_size: int = 64 * MIB,
         meta_size: int = 256 * MIB,
+        base: int = 0,
+        capacity: int = 0,
     ) -> None:
         super().__init__(device, costs)
         #: Region offsets come from the shared :class:`ImageLayout`, so
         #: the carve, the offline fsck, and the failure tests can never
-        #: disagree about where a region starts.
+        #: disagree about where a region starts.  ``base``/``capacity``
+        #: carve a sub-volume of the device (``repro.shard``); the
+        #: defaults keep the whole-device single-volume layout.
         self.layout = ImageLayout(
             log_size=log_size,
             meta_size=meta_size,
-            capacity=device.profile.capacity,
+            capacity=capacity or device.profile.capacity,
+            base=base,
         )
         self._files: Dict[str, Tuple[int, int]] = {
-            "superblock": (0, SUPERBLOCK_SIZE),
+            "superblock": (self.layout.base, SUPERBLOCK_SIZE),
             "log": (self.layout.log_base, log_size),
             "meta.db": (self.layout.meta_base, meta_size),
             "data.db": (self.layout.data_base, self.layout.data_size),

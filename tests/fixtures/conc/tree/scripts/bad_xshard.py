@@ -1,0 +1,15 @@
+"""Fixture: an unsorted cross-shard lock acquire.
+
+Both keys carry the ``shard:`` constant f-string prefix, so they fall
+into one precise lock class — but the loop iterates the raw pair
+instead of ``sorted(...)``: exactly one ``lock-cycle``.
+"""
+
+
+def xmove(ctx, src: int, dst: int):
+    keys = [f"shard:{src}:spool", f"shard:{dst}:spool"]
+    for key in keys:
+        yield from ctx.acquire(key)
+    yield "xmove"
+    for key in reversed(keys):
+        ctx.release(key)

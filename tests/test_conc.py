@@ -92,8 +92,9 @@ class TestConcFixtures:
         }, [v.render() for v in _fixture_report().violations]
 
     def test_lock_cycle_fixtures(self):
-        """Three distinct cycle shapes: explicit AB/BA, the unsorted
-        loop (wildcard self-edge), and the runtime-deadlock twin."""
+        """Four distinct cycle shapes: explicit AB/BA, the unsorted
+        loop (wildcard self-edge), the unsorted cross-shard pair (the
+        ``shard:`` f-string class), and the runtime-deadlock twin."""
         cycles = _by_rule(_fixture_report())["lock-cycle"]
         anchors = sorted(
             (os.path.basename(v.path), v.line) for v in cycles
@@ -101,8 +102,17 @@ class TestConcFixtures:
         assert anchors == [
             ("bad_cycle.py", 11),
             ("bad_unsorted.py", 12),
+            ("bad_xshard.py", 12),
             ("deadlock_workload.py", 24),
         ], [v.render() for v in cycles]
+
+    def test_xshard_cycle_names_the_shard_class(self):
+        [v] = [
+            v
+            for v in _by_rule(_fixture_report())["lock-cycle"]
+            if v.path.endswith("bad_xshard.py")
+        ]
+        assert "shard:" in v.message
 
     def test_cycle_message_names_both_locks_and_chain(self):
         [v] = [
@@ -161,7 +171,9 @@ class TestConcFixtures:
 
     def test_fixture_lock_graph_shape(self):
         graph = _fixture_report().lock_graph
-        assert set(graph.nodes) >= {"alpha", "beta", "g:", "order:a", "order:b"}
+        assert set(graph.nodes) >= {
+            "alpha", "beta", "g:", "order:a", "order:b", "shard:",
+        }
         pairs = {(e.src, e.dst, e.ordered) for e in graph.edges}
         # The deadlock fixture contributes both directions, unordered.
         assert ("alpha", "beta", False) in pairs
@@ -188,14 +200,21 @@ class TestRealTree:
         assert report.reachable >= 10
 
     def test_real_lock_graph_is_the_sorted_folder_loop(self):
-        """src/repro holds at most the per-folder mail locks, taken in
-        sorted order — one lock class, one ordered self-edge."""
+        """src/repro holds the per-folder mail locks (plain and
+        shard-namespaced) plus the single-held weblog locks, and every
+        nested acquire follows the sorted-loop discipline."""
         graph = _real_report().lock_graph
         assert "folder:" in graph.nodes
         folder_edges = [
             e for e in graph.edges if e.src == "folder:" and e.dst == "folder:"
         ]
         assert folder_edges and all(e.ordered for e in folder_edges)
+        # The sharded workloads register their f-string lock classes.
+        assert "shard:" in graph.nodes
+        assert "weblog:" in graph.nodes
+        assert all(e.ordered for e in graph.edges), [
+            (e.src, e.dst) for e in graph.edges if not e.ordered
+        ]
 
     def test_lint_composes_conc(self):
         """``repro.check lint`` runs the concurrency pass too (tentpole

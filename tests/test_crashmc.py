@@ -397,7 +397,7 @@ class TestExplorer:
         summary = json.loads(a)
         assert summary["cases"] == 16
         assert summary["violations"] == 0
-        assert len(summary["workloads"]) == 3
+        assert len(summary["workloads"]) == 4
 
     def test_counters_track_cases(self):
         ex = CrashExplorer(seed=1, budget=10, workloads=("tokubench",))

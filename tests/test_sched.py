@@ -283,7 +283,7 @@ class TestMailserverMT:
 
     def test_summary_shape_and_blocks(self):
         summary = run_mt(SMOKE_SCALE, sessions=4, seed=7)
-        assert summary["schema"] == "repro-mt v2"
+        assert summary["schema"] == "repro-mt v3"
         assert summary["sessions"] == 4
         assert len(summary["per_session"]) == 4
         assert summary["ops"] > 0
