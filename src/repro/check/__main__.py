@@ -2,8 +2,8 @@
 
 ``python -m repro.check lint [paths] [--format json] [--graph-out P]``
 runs the purity lint plus the whole-program analyses; ``arch``,
-``costflow`` and ``conc`` run each analysis alone (same exit-code
-contract).
+``costflow``, ``conc`` and ``durflow`` run each analysis alone (same
+exit-code contract).
 """
 
 from __future__ import annotations
@@ -12,11 +12,12 @@ import sys
 from typing import List, Optional
 
 _USAGE = (
-    "usage: python -m repro.check {lint,arch,costflow,conc} [options]\n"
-    "  lint      purity lint + arch + costflow + conc (--format json, --graph-out P)\n"
+    "usage: python -m repro.check {lint,arch,costflow,conc,durflow} [options]\n"
+    "  lint      purity lint + arch + costflow + conc + durflow (--format json, --graph-out P)\n"
     "  arch      layer-manifest / import-cycle analysis only\n"
     "  costflow  must-charge byte-flow analysis only\n"
-    "  conc      static concurrency analysis only (--graph-out P, --baseline F)"
+    "  conc      static concurrency analysis only (--graph-out P, --baseline F)\n"
+    "  durflow   static durability-ordering analysis only (--graph-out P, --baseline F)"
 )
 
 
@@ -42,6 +43,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         from repro.check import conc
 
         return conc.main(rest)
+    if command == "durflow":
+        from repro.check import durflow
+
+        return durflow.main(rest)
     print(f"repro.check: unknown command {command!r}", file=sys.stderr)
     print(_USAGE, file=sys.stderr)
     return 2

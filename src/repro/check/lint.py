@@ -435,12 +435,15 @@ def lint_paths(
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point used by ``python -m repro.check lint``.
 
-    A bare ``lint`` run composes four passes over ``src/repro``: the
+    A bare ``lint`` run composes five passes over ``src/repro``: the
     per-file purity lint, the :mod:`repro.check.arch` layer/import
-    analysis, the :mod:`repro.check.costflow` must-charge analysis, and
-    the :mod:`repro.check.conc` static concurrency analysis.  Explicit
+    analysis, the :mod:`repro.check.costflow` must-charge analysis,
+    the :mod:`repro.check.conc` static concurrency analysis, and the
+    :mod:`repro.check.durflow` durability-ordering analysis.  Explicit
     ``paths`` run only the per-file lint (the whole-program analyses
-    need the whole program).
+    need the whole program).  The summary line carries a per-pass
+    finding count and the exit code is nonzero on any finding from
+    any pass.
     """
     import argparse
 
@@ -477,6 +480,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     )
     args = parser.parse_args(argv)
 
+    passes: Optional[dict] = None
     if args.paths:
         violations = lint_paths(args.paths, use_allowlist=not args.no_allowlist)
         waivers: List[str] = []
@@ -486,10 +490,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         waivers = []
         extra = {}
         if not args.no_analyses:
+            passes = {"lint": len(violations)}
             from repro.check import arch  # arch: allow[CLI composes the analyses; lazy import keeps module load acyclic]
             from repro.check import costflow  # arch: allow[CLI composes the analyses; lazy import keeps module load acyclic]
 
             arch_report = arch.analyze()
+            passes["arch"] = len(arch_report.violations)
             violations.extend(arch_report.violations)
             waivers.extend(arch_report.waivers)
             extra["arch"] = {
@@ -501,6 +507,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                     arch_report, args.graph_out
                 )
             cost_report = costflow.analyze()
+            passes["costflow"] = len(cost_report.violations)
             violations.extend(cost_report.violations)
             waivers.extend(cost_report.waivers)
             extra["costflow"] = {
@@ -512,6 +519,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             from repro.check import conc  # arch: allow[CLI composes the analyses; lazy import keeps module load acyclic]
 
             conc_report = conc.analyze()
+            passes["conc"] = len(conc_report.violations)
             violations.extend(conc_report.violations)
             waivers.extend(conc_report.waivers)
             extra["conc"] = {
@@ -521,8 +529,26 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 "signal_sites": conc_report.signal_sites,
                 "reachable_from_session": conc_report.reachable,
             }
+            from repro.check import durflow  # arch: allow[CLI composes the analyses; lazy import keeps module load acyclic]
+
+            dur_report = durflow.analyze()
+            passes["durflow"] = len(dur_report.violations)
+            violations.extend(dur_report.violations)
+            waivers.extend(dur_report.waivers)
+            extra["durflow"] = {
+                "effect_sites": dur_report.effect_sites,
+                "barrier_sites": dur_report.barrier_sites,
+                "order_edges": len(dur_report.order_graph.edges),
+                "entries_checked": dur_report.entries_checked,
+                "coordinators": dur_report.coordinators,
+            }
 
     violations.sort(key=lambda v: (v.path, v.line, v.rule))
+    per_pass = (
+        " (" + " ".join(f"{k}={passes[k]}" for k in passes) + ")"
+        if passes is not None
+        else ""
+    )
     if args.fmt == "json":
         payload = {
             "ok": not violations,
@@ -532,6 +558,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             ],
             "waivers": waivers,
         }
+        if passes is not None:
+            payload["passes"] = passes
         payload.update(extra)
         print(json.dumps(payload, indent=2, sort_keys=True))
         return 1 if violations else 0
@@ -540,7 +568,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     for violation in violations:
         print(violation.render())
     if violations:
-        print(f"{len(violations)} violation(s)")
+        print(f"{len(violations)} violation(s){per_pass}")
         return 1
-    print("repro.check lint: clean")
+    print(f"repro.check lint: clean{per_pass}")
     return 0

@@ -1,0 +1,87 @@
+"""Runtime order recorder — the dynamic backstop for ``durflow``.
+
+``harness torture --verify-order-graph`` attaches an
+:class:`OrderRecorder` to each live stack's :class:`BlockDevice` and,
+after the crash sweep, checks every observed ``(effect kind, flush)``
+ordering against the static happens-before graph computed by
+:mod:`repro.check.durflow` — mirroring how ``harness mt
+--verify-lock-graph`` backstops :mod:`repro.check.conc`.  An observed
+ordering the static graph does not cover means either the analyzer's
+classification tables are stale or the code performs a durable effect
+the ordering discipline never acknowledges: both are findings.
+
+The recorder is a **pure observer**: it reads only its call
+arguments, touches neither the simulated clock nor device state, and
+is proven bit-identical by the test suite (device sha256 + simulated
+clock unchanged with the recorder on or off).  Offsets are classified
+into effect kinds via the :class:`~repro.storage.sfl.ImageLayout`
+spans of the volumes carved from the device — the same source of
+truth the SFL and the offline fsck use.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Set, Tuple
+
+from repro.storage.sfl import SUPERBLOCK_SIZE, ImageLayout
+
+#: (base, size, effect kind) span table entry.
+_Span = Tuple[int, int, str]
+
+
+def layout_spans(layouts: Iterable[ImageLayout]) -> List[_Span]:
+    """Offset-classification spans for the volumes of one device."""
+    spans: List[_Span] = []
+    for lay in layouts:
+        spans.append((lay.base, SUPERBLOCK_SIZE, "sb-write"))
+        spans.append((lay.log_base, lay.log_size, "wal-write"))
+        spans.append((lay.meta_base, lay.meta_size, "node-write"))
+        if lay.data_size > 0:
+            spans.append((lay.data_base, lay.data_size, "node-write"))
+    return spans
+
+
+class OrderRecorder:
+    """Per-device observer: effect kinds pending since the last flush.
+
+    Installed as ``device.order``; the device calls the three hooks
+    from ``submit_write`` / ``discard`` / ``flush``.  At each flush,
+    every pending effect kind contributes one ``(kind, "flush")``
+    ordered pair to the shared observation set.
+    """
+
+    def __init__(self, spans: List[_Span], pairs: Set[Tuple[str, str]]) -> None:
+        self._spans = spans
+        self._pairs = pairs
+        self._pending: Set[str] = set()
+
+    def _kind(self, offset: int) -> str:
+        for base, size, kind in self._spans:
+            if base <= offset < base + size:
+                return kind
+        return "dev-write"
+
+    def on_write(self, offset: int, length: int) -> None:
+        self._pending.add(self._kind(offset))
+
+    def on_discard(self, offset: int, length: int) -> None:
+        self._pending.add("trim")
+
+    def on_flush(self) -> None:
+        for kind in self._pending:
+            self._pairs.add((kind, "flush"))
+        self._pending.clear()
+
+
+class OrderLog:
+    """Collector shared across every observed device of a run."""
+
+    def __init__(self) -> None:
+        self.pairs: Set[Tuple[str, str]] = set()
+
+    def attach(self, device, layouts: Iterable[ImageLayout]) -> None:
+        """Install a recorder for ``device`` feeding this log."""
+        device.order = OrderRecorder(layout_spans(layouts), self.pairs)
+
+    def observed(self) -> List[Tuple[str, str]]:
+        return sorted(self.pairs)

@@ -1,7 +1,7 @@
 """Inline waiver comments for the whole-program analyses.
 
-A finding from :mod:`repro.check.arch`, :mod:`repro.check.costflow`
-or :mod:`repro.check.conc` can be suppressed — *one finding, one line, one reason* — with an
+A finding from :mod:`repro.check.arch`, :mod:`repro.check.costflow`,
+:mod:`repro.check.conc` or :mod:`repro.check.durflow` can be suppressed — *one finding, one line, one reason* — with an
 inline comment on the flagged line::
 
     from repro.check.sanitize import SanitizerSuite  # arch: allow[lazy import breaks the core<->check cycle]
@@ -23,8 +23,11 @@ import tokenize
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
-#: ``# <tool>: allow[reason]`` — tool is ``arch``, ``costflow`` or ``conc``.
-_WAIVER_RE = re.compile(r"#\s*(arch|costflow|conc):\s*allow\[([^\]]*)\]")
+#: ``# <tool>: allow[reason]`` — tool is ``arch``, ``costflow``,
+#: ``conc`` or ``durflow``.
+_WAIVER_RE = re.compile(
+    r"#\s*(arch|costflow|conc|durflow):\s*allow\[([^\]]*)\]"
+)
 
 
 @dataclass

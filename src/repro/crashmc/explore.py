@@ -116,6 +116,9 @@ class _Stack:
             self.device, costs, log_size=self.LOG_SIZE, meta_size=self.META_SIZE
         )
         self.layout: ImageLayout = storage.layout
+        #: Every volume layout carved from ``self.device`` (multi-volume
+        #: stacks append one per shard); the order recorder spans these.
+        self.layouts: List[ImageLayout] = [storage.layout]
         self.env = KVEnv(
             storage,
             self.clock,
@@ -310,9 +313,13 @@ class CrashExplorer:
         ),
         exhaustive_k: int = 6,
         obs_clock: Optional[SimClock] = None,
+        order_log=None,
     ) -> None:
         self.seed = seed
         self.budget = budget
+        #: Optional :class:`repro.check.order.OrderLog`; when set, every
+        #: live stack's device gets a pure-observer order recorder.
+        self.order_log = order_log
         self.workload_names = list(workloads)
         self.exhaustive_k = exhaustive_k
         for name in self.workload_names:
@@ -396,6 +403,15 @@ class CrashExplorer:
                 oracle.commit(op)
         return counts
 
+    def _observe(self, stack: _Stack) -> _Stack:
+        """Attach the optional order recorder to a live stack's device.
+
+        Only live stacks are observed; crash images and reboot devices
+        replay durable state and add no new orderings."""
+        if self.order_log is not None:
+            self.order_log.attach(stack.device, stack.layouts)
+        return stack
+
     @staticmethod
     def _quotas(counts: List[int], budget: int) -> List[int]:
         """Round-robin the case budget across crash points, capped at
@@ -425,7 +441,9 @@ class CrashExplorer:
         plan_budget = budget - media_quota
 
         # Pass 1: count candidate plans per crash point.
-        counts = self._crash_points(stack_factory(), name, ops, visit=None)
+        counts = self._crash_points(
+            self._observe(stack_factory()), name, ops, visit=None
+        )
         report.points = len(counts)
         report.plans_enumerated = sum(counts)
         self._c_points.inc(len(counts))
@@ -436,7 +454,7 @@ class CrashExplorer:
         media_quota = budget - sum(quotas)  # plan-space shortfall -> media
 
         # Pass 2: re-run and explore each point's quota.
-        stack = stack_factory()
+        stack = self._observe(stack_factory())
         oracle = oracle_factory()
         point_iter = iter(quotas)
 

@@ -269,6 +269,9 @@ class BlockDevice:
         self.charge_time = charge_time
         #: Optional sanitizer suite (pure observer; see repro.check).
         self.san = None
+        #: Optional durability-order recorder (pure observer; see
+        #: repro.check.order — the durflow runtime backstop).
+        self.order = None
 
     #: Idle seconds after which a saturated write cache recovers.
     CACHE_RECOVERY_IDLE = 0.5
@@ -499,6 +502,8 @@ class BlockDevice:
             )
         if self.san is not None:
             self.san.on_device_op(self, "write", dur)
+        if self.order is not None:
+            self.order.on_write(offset, len(data))
         return Completion(done, None, write=True)
 
     def wait(self, completion: Completion) -> Optional[bytes]:
@@ -531,6 +536,8 @@ class BlockDevice:
             self.stats.record_flush(0.0)
             if self.san is not None:
                 self.san.on_device_op(self, "flush", 0.0)
+            if self.order is not None:
+                self.order.on_flush()
             self._seal_epoch()
             return
         dur = self.profile.flush_lat
@@ -542,6 +549,8 @@ class BlockDevice:
                 tracer.event("dev.flush", "device", done - dur, dur)
         if self.san is not None:
             self.san.on_device_op(self, "flush", dur)
+        if self.order is not None:
+            self.order.on_flush()
         self.clock.wait_until(done)
         self._seal_epoch()
 
@@ -570,6 +579,8 @@ class BlockDevice:
             )
         if self.san is not None:
             self.san.on_device_op(self, "discard", dur)
+        if self.order is not None:
+            self.order.on_discard(offset, length)
 
     # ------------------------------------------------------------------
     # Crash simulation

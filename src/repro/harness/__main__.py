@@ -202,6 +202,13 @@ def main(argv=None) -> int:
         "against the repro.check.conc static lock graph (exit 1 on "
         "an uncovered pair)",
     )
+    parser.add_argument(
+        "--verify-order-graph",
+        action="store_true",
+        help="torture: cross-check every observed (effect, barrier) "
+        "ordering against the repro.check.durflow static order graph "
+        "(exit 1 on an uncovered pair)",
+    )
     parser.add_argument("--quiet", action="store_true")
     args = parser.parse_args(argv)
 
@@ -225,6 +232,7 @@ def main(argv=None) -> int:
             repro_out=args.torture_out or "crashmc-repro.json",
             metrics_out=args.metrics_out,
             verbose=not args.quiet,
+            verify_order=args.verify_order_graph,
         )
     if args.image is not None:
         parser.error("an image argument is only valid for the fsck target")
@@ -471,6 +479,7 @@ def _run_torture(
     repro_out: str,
     metrics_out=None,
     verbose: bool = True,
+    verify_order: bool = False,
 ) -> int:
     """``python -m repro.harness torture --seed N --budget M``.
 
@@ -479,13 +488,25 @@ def _run_torture(
     no wall time, sorted keys — so CI can diff two fixed-seed runs
     byte-for-byte.  On a violation the first (already shrunk) failing
     schedule is written to ``repro_out`` and the exit code is 1.
+
+    With ``--verify-order-graph``, a pure-observer order recorder
+    rides on every live stack's device and the observed (effect,
+    barrier) orderings are checked against the static order graph from
+    :mod:`repro.check.durflow` after the sweep; verification speaks
+    only on stderr and through the exit code, so the stdout JSON stays
+    byte-identical to an unflagged run.
     """
     from repro.crashmc import CrashExplorer
     from repro.crashmc.shrink import repro_dict, save_repro
 
+    order_log = None
+    if verify_order:
+        from repro.check.order import OrderLog
+
+        order_log = OrderLog()
     obs = Observability()
     with session(obs):
-        explorer = CrashExplorer(seed=seed, budget=budget)
+        explorer = CrashExplorer(seed=seed, budget=budget, order_log=order_log)
         summary = explorer.run()
     print(json.dumps(summary.to_dict(), indent=1, sort_keys=True))
     if metrics_out:
@@ -515,6 +536,29 @@ def _run_torture(
             file=sys.stderr,
         )
         return 1
+    if order_log is not None:
+        from repro.check import durflow
+
+        graph = durflow.analyze().order_graph
+        observed = order_log.observed()
+        uncovered = [
+            (effect, barrier)
+            for effect, barrier in observed
+            if not graph.covers(effect, barrier)
+        ]
+        if uncovered:
+            for effect, barrier in uncovered:
+                print(
+                    f"torture: ordering {effect!r} -> {barrier!r} observed "
+                    "at runtime but absent from the static order graph",
+                    file=sys.stderr,
+                )
+            return 1
+        print(
+            f"torture: order graph verified — {len(observed)} observed "
+            "(effect, barrier) ordering(s) all covered statically",
+            file=sys.stderr,
+        )
     if verbose:
         print(
             f"torture: {summary.cases} crash states across "

@@ -1,0 +1,54 @@
+"""barrier-order fixture: torn checkpoint + unsynced acknowledgement."""
+
+
+class BlockDevice:
+    def flush(self) -> None:
+        raise NotImplementedError
+
+
+class Southbound:
+    def __init__(self, device: BlockDevice) -> None:
+        self.device = device
+
+    def write(self, name: str, off: int, data: bytes) -> None:
+        raise NotImplementedError
+
+    def sync(self, name: str) -> None:
+        self.device.flush()
+
+
+class WriteAheadLog:
+    def __init__(self, storage: Southbound) -> None:
+        self.storage = storage
+
+    def flush(self, durable: bool = True) -> None:
+        self.storage.write("log", 0, b"")
+        if durable:
+            self.storage.sync("log")
+
+
+class BeTree:
+    def __init__(self, storage: Southbound) -> None:
+        self.storage = storage
+
+    def write_dirty_nodes(self) -> None:
+        self.storage.write("data.db", 0, b"")
+
+
+class TornCheckpointEnv:
+    def __init__(self, storage: Southbound) -> None:
+        self.storage = storage
+        self.tree = BeTree(storage)
+
+    def checkpoint(self) -> None:
+        self.tree.write_dirty_nodes()
+        self.storage.write("superblock", 0, b"")  # line 45: torn order
+        self.storage.sync("superblock")
+
+
+class UnsyncedAckEnv:
+    def __init__(self, wal: WriteAheadLog) -> None:
+        self.wal = wal
+
+    def sync(self) -> None:  # line 53: acknowledges without a barrier
+        self.wal.flush(durable=False)

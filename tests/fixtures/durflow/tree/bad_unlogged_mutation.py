@@ -1,0 +1,64 @@
+"""write-ahead fixture: tree mutations that skip the WAL append."""
+
+from typing import List
+
+
+class Southbound:
+    def __init__(self) -> None:
+        self.name = "sfl"
+
+    def write(self, name: str, off: int, data: bytes) -> None:
+        raise NotImplementedError
+
+    def sync(self, name: str) -> None:
+        raise NotImplementedError
+
+    def discard(self, name: str, off: int, ln: int) -> None:
+        raise NotImplementedError
+
+
+class WriteAheadLog:
+    def __init__(self, storage: Southbound) -> None:
+        self.storage = storage
+
+    def append(self, op: int, key: bytes, value: bytes) -> int:
+        raise NotImplementedError
+
+    def flush(self, durable: bool = True) -> None:
+        self.storage.write("log", 0, b"")
+        if durable:
+            self.storage.sync("log")
+
+
+class BeTree:
+    def __init__(self, storage: Southbound) -> None:
+        self.storage = storage
+
+    def put(self, key: bytes, value: bytes) -> None:
+        raise NotImplementedError
+
+    def delete(self, key: bytes) -> None:
+        raise NotImplementedError
+
+
+class KVEnv:
+    def __init__(self, storage: Southbound) -> None:
+        self.wal = WriteAheadLog(storage)
+        self.tree = BeTree(storage)
+
+    def insert(self, key: bytes, value: bytes, log: bool = True) -> None:
+        if log:
+            self.wal.append(1, key, value)
+        self.tree.put(key, value)
+
+    def sync(self) -> None:
+        self.wal.flush(durable=True)
+
+
+def apply_batch(tree: BeTree, items: List[bytes]) -> None:
+    for key in items:
+        tree.put(key, key)  # line 60: unlogged mutation
+
+
+def fast_insert(env: KVEnv, key: bytes) -> None:
+    env.insert(key, key, log=False)  # line 64: constant log=False

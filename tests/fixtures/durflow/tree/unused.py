@@ -1,0 +1,9 @@
+"""Waiver-hygiene fixture: a dead waiver and an empty-reason waiver."""
+
+
+def noop() -> None:
+    return None  # durflow: allow[stale waiver kept to exercise hygiene]
+
+
+def empty() -> None:
+    return None  # durflow: allow[]
